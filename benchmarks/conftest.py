@@ -1,0 +1,43 @@
+"""Shared benchmark fixtures: the cached suite and one experiment run.
+
+Heavy artefacts are session-scoped so the whole benchmark suite pays for
+the 14-design flow and the 5-model experiment exactly once.  The flow
+dataset is cached on disk under ``.cache/`` and reused across invocations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import SUITE_RECIPES
+from repro.core.experiment import run_experiment
+from repro.core.models import model_zoo
+from repro.core.pipeline import build_suite_dataset, default_cache_path, run_flow
+
+
+@pytest.fixture(scope="session")
+def suite_and_stats():
+    """The full 14-design suite at scale 1.0 (disk-cached)."""
+    return build_suite_dataset(1.0, cache_path=default_cache_path(1.0))
+
+
+@pytest.fixture(scope="session")
+def suite(suite_and_stats):
+    return suite_and_stats[0]
+
+
+@pytest.fixture(scope="session")
+def suite_stats(suite_and_stats):
+    return suite_and_stats[1]
+
+
+@pytest.fixture(scope="session")
+def experiment_result(suite):
+    """One fast-preset Table II experiment over all five models."""
+    return run_experiment(suite, model_zoo("fast"), tune=True)
+
+
+@pytest.fixture(scope="session")
+def des_perf_1_flow():
+    """Fresh flow artefacts for the paper's congested example design."""
+    return run_flow(SUITE_RECIPES["des_perf_1"])

@@ -1,0 +1,89 @@
+"""E5 — Fig. 3: congestion context around real hotspots + actual DRC errors.
+
+The paper's Fig. 3 shows, for three example hotspots, the GR edge
+congestion around the g-cell and (for validation) the DRC errors found
+after detailed routing.  This bench regenerates that content for the
+``des_perf_1`` analogue: it locates actual hotspot g-cells, renders the
+M3/M4/M5 congestion maps around them, lists the simulated checker's errors,
+and asserts that hotspot neighbourhoods are *more congested* than clean
+ones — the physical premise of the whole prediction task.
+
+The timed kernel is the congestion-map rendering.
+"""
+
+import numpy as np
+
+from repro.drc.labels import hotspot_cells
+from repro.route.congestion import render_layer_congestion, utilization_map
+
+
+def _neighbourhood_peak_util(rgrid, cell, radius=1):
+    """Max utilisation over M2..M5 edges within ``radius`` of the cell."""
+    peak = 0.0
+    for m in (2, 3, 4, 5):
+        util = utilization_map(rgrid, m)
+        finite = np.where(np.isfinite(util), util, 2.0)
+        x0 = max(cell[0] - radius, 0)
+        y0 = max(cell[1] - radius, 0)
+        x1 = min(cell[0] + radius + 1, finite.shape[0])
+        y1 = min(cell[1] + radius + 1, finite.shape[1])
+        block = finite[x0:x1, y0:y1]
+        if block.size:
+            peak = max(peak, float(block.max()))
+    return peak
+
+
+def test_fig3_hotspot_congestion_context(des_perf_1_flow, benchmark):
+    flow = des_perf_1_flow
+    hotspots = hotspot_cells(flow.drc_report, flow.grid)
+    assert hotspots, "the des_perf_1 analogue must contain hotspots"
+
+    examples = hotspots[:3]
+    rendered = benchmark.pedantic(
+        lambda: [
+            render_layer_congestion(flow.routing.rgrid, m, cell)
+            for cell in examples
+            for m in (3, 4, 5)
+        ],
+        rounds=1,
+        iterations=1,
+    )
+    for text in rendered[:3]:
+        print()
+        print(text)
+    for cell in examples:
+        print(flow.drc_report.describe_cell(flow.grid, cell))
+
+    # --- validation: hotspots live in congested neighbourhoods ----------------
+    rng = np.random.default_rng(0)
+    hotspot_set = set(hotspots)
+    clean = [
+        (ix, iy)
+        for ix in range(flow.grid.nx)
+        for iy in range(flow.grid.ny)
+        if (ix, iy) not in hotspot_set
+    ]
+    clean_sample = [clean[i] for i in rng.choice(len(clean), 40, replace=False)]
+
+    hot_util = np.mean(
+        [_neighbourhood_peak_util(flow.routing.rgrid, c) for c in hotspots]
+    )
+    clean_util = np.mean(
+        [_neighbourhood_peak_util(flow.routing.rgrid, c) for c in clean_sample]
+    )
+    print(f"\nmean peak utilisation: hotspots {hot_util:.2f} vs clean {clean_util:.2f}")
+    assert hot_util > clean_util, "hotspots must sit in more congested areas"
+
+
+def test_fig3_error_types_match_paper_vocabulary(des_perf_1_flow, benchmark):
+    """The checker reports the paper's error vocabulary: shorts, spacing
+    (different-net space) and EOL errors, each with layer and box."""
+    flow = des_perf_1_flow
+    benchmark.pedantic(lambda: flow.drc_report.counts_by_type(), rounds=1, iterations=1)
+    kinds = {v.vtype.value for v in flow.drc_report.violations}
+    print(f"violation kinds present: {sorted(kinds)}")
+    assert "short" in kinds or "spacing" in kinds
+    layers = set(flow.drc_report.counts_by_layer())
+    assert layers <= {"M2", "M3", "M4", "M5"}
+    for v in flow.drc_report.violations[:50]:
+        assert v.bbox.area >= 0.0

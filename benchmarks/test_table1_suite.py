@@ -1,0 +1,57 @@
+"""E1 — Table I: benchmark-suite statistics.
+
+Regenerates the paper's Table I analogue (per-design and per-group g-cell,
+hotspot, macro, cell-count and layout-size statistics) from the mechanistic
+flow, prints it, and asserts its qualitative shape:
+
+* strong class imbalance overall (hotspots are a few percent of g-cells);
+* at least two designs with zero hotspots (the paper's des_perf_b /
+  bridge32_b, excluded from Table II);
+* the congested designs (des_perf_1, fft_b analogues) sit at the top of
+  the hotspot-rate ranking, the sparse mult_a/fft_a analogues at the bottom.
+
+The timed kernel is the full Fig. 1 flow on the smallest suite design.
+"""
+
+from repro.bench.suite import GROUPS, SUITE_RECIPES
+from repro.core.pipeline import run_flow
+from repro.layout.design_stats import format_table1, group_statistics
+
+
+def test_table1_statistics(suite, suite_stats, benchmark):
+    flow_result = benchmark.pedantic(
+        run_flow, args=(SUITE_RECIPES["fft_1"],), rounds=1, iterations=1
+    )
+    assert flow_result.stats.num_gcells == 196
+
+    by_name = {s.name: s for s in suite_stats}
+    rows = [
+        (
+            group_statistics(g, [by_name[m] for m in members]),
+            [by_name[m] for m in members],
+        )
+        for g, members in GROUPS.items()
+    ]
+    print("\nTable I analogue — synthetic suite statistics")
+    print(format_table1(rows))
+
+    # --- shape assertions ----------------------------------------------------
+    assert len(suite_stats) == 14
+    total = sum(s.num_gcells for s in suite_stats)
+    positives = sum(s.num_hotspots for s in suite_stats)
+    rate = positives / total
+    print(f"\noverall hotspot rate: {100 * rate:.2f}%")
+    assert 0.002 < rate < 0.08, "labels should be rare but present"
+
+    zero_designs = {s.name for s in suite_stats if s.num_hotspots == 0}
+    assert len(zero_designs) >= 2, "Table II needs excluded clean designs"
+    assert "des_perf_b" in zero_designs or "bridge32_b" in zero_designs
+
+    rates = {s.name: s.hotspot_rate for s in suite_stats}
+    ranking = sorted(rates, key=rates.get, reverse=True)
+    assert "des_perf_1" in ranking[:3], "des_perf_1 analogue must be hottest"
+    assert rates["mult_a"] < 0.01, "mult_a analogue must be nearly clean"
+
+    # macro counts mirror the paper's Table I exactly
+    for s in suite_stats:
+        assert s.num_macros == SUITE_RECIPES[s.name].num_macros

@@ -1,0 +1,83 @@
+"""E7 — cost rows of Table II: training time, prediction time, op counts.
+
+The paper's cost story (Table II bottom rows, Sec. IV-A):
+
+* SVM-RBF stores many high-dimensional support vectors and needs ~110×
+  the prediction operations of RF;
+* RF's per-sample prediction cost is tiny (short average tree paths);
+* SHAP explanations cost ~1.4 s/sample and need no detailed routing.
+
+This bench times each model's fit and scoring on one protocol split and
+asserts the scale-independent parts of that story.  (The paper's *absolute*
+training-time ordering — SVM 7× slower than RF — holds at 100k+ training
+samples where kernel methods scale quadratically; at our reduced scale the
+subsampled SVM trains fast, which EXPERIMENTS.md discusses.)
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.models import model_zoo
+from repro.ml.complexity import complexity_of
+from repro.ml.scaling import StandardScaler
+
+
+@pytest.fixture(scope="module")
+def split(suite):
+    X_train, y_train, _ = suite.stacked(exclude_groups=(3,))
+    test = suite.by_name("des_perf_1")
+    return X_train, y_train, test
+
+
+@pytest.mark.parametrize("model_name", ["SVM-RBF", "RUSBoost", "NN-1", "NN-2", "RF"])
+def test_model_fit_and_predict_cost(split, benchmark, model_name):
+    X_train, y_train, test = split
+    spec = next(m for m in model_zoo("fast") if m.name == model_name)
+    scaler = StandardScaler().fit(X_train) if spec.needs_scaling else None
+    X_fit = scaler.transform(X_train) if scaler else X_train
+    X_test = scaler.transform(test.X) if scaler else test.X
+
+    model = benchmark.pedantic(
+        lambda: spec.factory().fit(X_fit, y_train), rounds=1, iterations=1
+    )
+
+    t0 = time.perf_counter()
+    scores = model.predict_proba(X_test)[:, 1]
+    predict_sec = time.perf_counter() - t0
+    report = complexity_of(model, X_fit[:512], model_name)
+    print(
+        f"\n{model_name}: predict {predict_sec * 1000:.1f} ms/design, "
+        f"{report.num_parameters / 1e3:.1f}k params, "
+        f"{report.prediction_ops_per_sample / 1e3:.2f}k ops/sample"
+    )
+    assert np.isfinite(scores).all()
+    assert predict_sec < 30.0
+
+
+def test_cost_story_shape(split, benchmark):
+    """SVM ops >> NN ops > RF ops; RF params > NN params (Table II)."""
+    X_train, y_train, _ = split
+    zoo = {m.name: m for m in model_zoo("fast")}
+    scaler = StandardScaler().fit(X_train)
+    Xs = scaler.transform(X_train)
+
+    def build_reports():
+        reports = {}
+        for name in ("SVM-RBF", "NN-1", "RF"):
+            spec = zoo[name]
+            X_fit = Xs if spec.needs_scaling else X_train
+            model = spec.factory().fit(X_fit, y_train)
+            reports[name] = complexity_of(model, X_fit[:512], name)
+        return reports
+
+    reports = benchmark.pedantic(build_reports, rounds=1, iterations=1)
+    ops = {k: v.prediction_ops_per_sample for k, v in reports.items()}
+    params = {k: v.num_parameters for k, v in reports.items()}
+    print(f"\nops/sample: { {k: round(v) for k, v in ops.items()} }")
+    print(f"params:     {params}")
+    # paper: SVM needs ~110x the ops of RF; assert a generous 50x here
+    assert ops["SVM-RBF"] > 50 * ops["RF"]
+    assert ops["SVM-RBF"] > 5 * ops["NN-1"]
+    assert params["RF"] > params["NN-1"]

@@ -1,0 +1,49 @@
+"""Global SHAP summary: what drives hotspot predictions on a design.
+
+The paper explains hotspots one at a time (Fig. 4); aggregating |SHAP|
+over the strongest predictions yields the global view — which features,
+and which feature families (edge congestion per layer, via congestion per
+layer, placement), the model leans on for a given design.
+
+Run:  python examples/shap_summary.py [--design fft_b] [--samples 20]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import summarize_shap
+from repro.bench.suite import SUITE_RECIPES
+from repro.core import build_suite_dataset, default_cache_path
+from repro.core.explain import train_explanation_forest
+from repro.ml.shap import TreeShapExplainer
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="des_perf_1", choices=sorted(SUITE_RECIPES))
+    parser.add_argument("--samples", type=int, default=12,
+                        help="how many top predictions to aggregate")
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    suite, _ = build_suite_dataset(args.scale, cache_path=default_cache_path(args.scale))
+    dataset = suite.by_name(args.design)
+    model = train_explanation_forest(suite, args.design)
+    scores = model.predict_proba(dataset.X)[:, 1]
+
+    rows = np.argsort(-scores)[: args.samples]
+    explainer = TreeShapExplainer(model.trees, dataset.X.shape[1])
+    print(
+        f"computing exact SHAP for the top {len(rows)} predictions of "
+        f"{args.design} ({len(model.trees)} trees)..."
+    )
+    shap_matrix = explainer.shap_values(dataset.X[rows])
+
+    summary = summarize_shap(shap_matrix)
+    print()
+    print(summary.format_report(k=15))
+
+
+if __name__ == "__main__":
+    main()

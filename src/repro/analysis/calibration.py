@@ -1,0 +1,91 @@
+"""Probability calibration analysis for hotspot predictors.
+
+The RF output "is the probability that the sample is a DRC hotspot"
+(paper Sec. IV-B) and designers act on thresholds of it, so how well those
+probabilities are *calibrated* matters.  This module provides
+
+* a binned reliability table (predicted probability vs observed hotspot
+  frequency per bin),
+* the Brier score and its decomposition-free reference values,
+* expected calibration error (ECE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReliabilityBin:
+    lo: float
+    hi: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    bins: tuple[ReliabilityBin, ...]
+    brier_score: float
+    expected_calibration_error: float
+    base_rate: float
+
+    def format_table(self) -> str:
+        header = (
+            f"{'bin':>12s} {'n':>6s} {'mean pred':>10s} {'observed':>10s} {'gap':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for b in self.bins:
+            if b.count == 0:
+                continue
+            gap = b.mean_predicted - b.observed_rate
+            lines.append(
+                f"[{b.lo:.2f},{b.hi:.2f}) {b.count:>6d} {b.mean_predicted:>10.4f} "
+                f"{b.observed_rate:>10.4f} {gap:>+8.4f}"
+            )
+        lines.append(
+            f"Brier {self.brier_score:.5f}   ECE {self.expected_calibration_error:.5f}"
+            f"   base rate {self.base_rate:.5f}"
+        )
+        return "\n".join(lines)
+
+
+def calibration_report(
+    y_true: np.ndarray, probabilities: np.ndarray, n_bins: int = 10
+) -> CalibrationReport:
+    """Reliability analysis of predicted probabilities."""
+    y = np.asarray(y_true).astype(np.float64).ravel()
+    p = np.asarray(probabilities, dtype=np.float64).ravel()
+    if y.shape != p.shape:
+        raise ValueError("shape mismatch")
+    if ((p < 0) | (p > 1)).any():
+        raise ValueError("probabilities must lie in [0, 1]")
+
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins: list[ReliabilityBin] = []
+    ece = 0.0
+    n = len(y)
+    for lo, hi in zip(edges[:-1], edges[1:]):
+        mask = (p >= lo) & (p < hi) if hi < 1.0 else (p >= lo) & (p <= hi)
+        count = int(mask.sum())
+        if count:
+            mean_pred = float(p[mask].mean())
+            observed = float(y[mask].mean())
+            ece += count / n * abs(mean_pred - observed)
+        else:
+            mean_pred = observed = 0.0
+        bins.append(
+            ReliabilityBin(
+                lo=float(lo), hi=float(hi), count=count,
+                mean_predicted=mean_pred, observed_rate=observed,
+            )
+        )
+    return CalibrationReport(
+        bins=tuple(bins),
+        brier_score=float(np.mean((p - y) ** 2)),
+        expected_calibration_error=float(ece),
+        base_rate=float(y.mean()),
+    )

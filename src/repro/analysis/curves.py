@@ -1,0 +1,74 @@
+"""Text rendering and export of ROC / precision-recall curves.
+
+The paper's central methodological point (Sec. III-B) is that DRC hotspot
+predictors should be judged by *curves*, not single operating points.
+These helpers render the P-R and ROC curves of a scored design as compact
+ASCII plots (terminals are this repo's display surface) and export the
+curve points for external plotting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ml.metrics import auc_roc, average_precision, pr_curve, roc_curve
+
+
+def _ascii_plot(
+    xs: np.ndarray,
+    ys: np.ndarray,
+    width: int = 61,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """A dot-matrix plot of a curve over the unit square."""
+    canvas = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        cx = min(int(round(x * (width - 1))), width - 1)
+        cy = min(int(round(y * (height - 1))), height - 1)
+        canvas[height - 1 - cy][cx] = "*"
+    lines = ["1.0 +" + "".join(canvas[0])]
+    for row in canvas[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 +" + "".join(canvas[-1]))
+    lines.append("     " + "0" + "-" * (width - 2) + "1")
+    lines.append(f"     {y_label} vs {x_label}")
+    return "\n".join(lines)
+
+
+def render_pr_curve(y_true: np.ndarray, scores: np.ndarray) -> str:
+    """ASCII P-R curve with its area (the paper's A_prc)."""
+    precision, recall, _ = pr_curve(y_true, scores)
+    ap = average_precision(y_true, scores)
+    plot = _ascii_plot(recall, precision, x_label="recall", y_label="precision")
+    return f"P-R curve (A_prc = {ap:.4f})\n{plot}"
+
+
+def render_roc_curve(y_true: np.ndarray, scores: np.ndarray) -> str:
+    """ASCII ROC curve with its area."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    auc = auc_roc(y_true, scores)
+    plot = _ascii_plot(fpr, tpr, x_label="FPR", y_label="TPR")
+    return f"ROC curve (A_roc = {auc:.4f})\n{plot}"
+
+
+def export_pr_points(y_true: np.ndarray, scores: np.ndarray) -> str:
+    """The P-R curve as CSV text (threshold, recall, precision)."""
+    precision, recall, thresholds = pr_curve(y_true, scores)
+    lines = ["threshold,recall,precision"]
+    lines += [
+        f"{t:.6g},{r:.6g},{p:.6g}"
+        for t, r, p in zip(thresholds, recall, precision)
+    ]
+    return "\n".join(lines)
+
+
+def export_roc_points(y_true: np.ndarray, scores: np.ndarray) -> str:
+    """The ROC curve as CSV text (threshold, fpr, tpr)."""
+    fpr, tpr, thresholds = roc_curve(y_true, scores)
+    lines = ["threshold,fpr,tpr"]
+    lines += [
+        f"{t:.6g},{f:.6g},{r:.6g}" for t, f, r in zip(thresholds, fpr, tpr)
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Global SHAP summaries: aggregate per-sample attributions over a design.
+
+The paper explains hotspots one at a time; aggregating |SHAP| over many
+samples yields the *global* picture practitioners expect from the shap
+package's summary plots: which features (and which feature groups — edge
+congestion per layer, via congestion per layer, placement) drive the
+model's hotspot predictions on a given design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..features.names import feature_names
+
+
+@dataclass(frozen=True)
+class ShapSummary:
+    """Mean-|SHAP| statistics over a sample set."""
+
+    names: tuple[str, ...]
+    mean_abs: np.ndarray  # (num_features,)
+    mean_signed: np.ndarray  # (num_features,)
+
+    def top_features(self, k: int = 15) -> list[tuple[str, float, float]]:
+        """(name, mean |SHAP|, mean signed SHAP), strongest first."""
+        order = np.argsort(-self.mean_abs)[:k]
+        return [
+            (self.names[i], float(self.mean_abs[i]), float(self.mean_signed[i]))
+            for i in order
+        ]
+
+    def by_group(self) -> dict[str, float]:
+        """Total mean-|SHAP| mass per feature family.
+
+        Families: ``placement``, ``edge_M2`` .. ``edge_M5``, ``via_V1`` ..
+        ``via_V4`` (M1 edges are structurally zero and grouped under
+        ``edge_M1`` for completeness).
+        """
+        groups: dict[str, float] = {}
+        for name, value in zip(self.names, self.mean_abs):
+            stem = name.split("_")[0]
+            if stem[:2] in ("ec", "el", "ed"):
+                key = f"edge_{stem[2:]}"
+            elif stem[:2] in ("vc", "vl", "vd"):
+                key = f"via_{stem[2:]}"
+            else:
+                key = "placement"
+            groups[key] = groups.get(key, 0.0) + float(value)
+        return groups
+
+    def format_report(self, k: int = 12) -> str:
+        lines = ["global SHAP summary (mean |SHAP| per feature)"]
+        for name, mean_abs, mean_signed in self.top_features(k):
+            lines.append(f"  {name:<16s} {mean_abs:>9.5f}  (signed {mean_signed:>+9.5f})")
+        lines.append("by feature family:")
+        for key, value in sorted(self.by_group().items(), key=lambda t: -t[1]):
+            lines.append(f"  {key:<12s} {value:>9.5f}")
+        return "\n".join(lines)
+
+
+def summarize_shap(shap_matrix: np.ndarray) -> ShapSummary:
+    """Summary over a (n_samples, 387) SHAP matrix."""
+    shap_matrix = np.atleast_2d(np.asarray(shap_matrix, dtype=np.float64))
+    names = feature_names()
+    if shap_matrix.shape[1] != len(names):
+        raise ValueError(
+            f"expected {len(names)} SHAP columns, got {shap_matrix.shape[1]}"
+        )
+    return ShapSummary(
+        names=names,
+        mean_abs=np.abs(shap_matrix).mean(axis=0),
+        mean_signed=shap_matrix.mean(axis=0),
+    )

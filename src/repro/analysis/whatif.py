@@ -1,0 +1,148 @@
+"""What-if analysis: act on an explanation before detailed routing.
+
+The point of early DRC feedback (paper Sec. I) is that the designer can
+*do something*: reroute globally around a hot edge, spread cells to thin
+out pins, free tracks by demoting an NDR net.  This module closes that
+loop at the model level: given a sample and an intervention on named
+features, it rebuilds a physically consistent feature vector and reports
+how the predicted hotspot probability responds.
+
+Consistency handling: the congestion features come in (capacity, load,
+margin) triples; intervening on one member updates the margin (``ed*`` /
+``vd*``) so the counterfactual stays on the C−L manifold the model was
+trained on.  Neighbouring-window copies of the same physical quantity are
+NOT updated (an intervention on the central cell's own features only),
+which matches the local edits a designer would actually try.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..features.names import feature_index
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """Outcome of one intervention."""
+
+    baseline_probability: float
+    new_probability: float
+    changed_features: tuple[str, ...]
+
+    @property
+    def delta(self) -> float:
+        return self.new_probability - self.baseline_probability
+
+    def format_row(self) -> str:
+        names = ", ".join(self.changed_features)
+        return (
+            f"{names:<40s} P {self.baseline_probability:.4f} -> "
+            f"{self.new_probability:.4f} ({self.delta:+.4f})"
+        )
+
+
+def _triple_stems(name: str) -> tuple[str, str, str] | None:
+    """(capacity, load, margin) names of a congestion feature, else None."""
+    stem, _, suffix = name.partition("_")
+    if len(stem) >= 3 and stem[0] in "ev" and stem[1] in "cld":
+        family = stem[0]  # 'e' or 'v'
+        layer = stem[2:]
+        return (
+            f"{family}c{layer}_{suffix}",
+            f"{family}l{layer}_{suffix}",
+            f"{family}d{layer}_{suffix}",
+        )
+    return None
+
+
+def apply_intervention(
+    x: np.ndarray, interventions: dict[str, float]
+) -> tuple[np.ndarray, tuple[str, ...]]:
+    """Return a counterfactual copy of ``x`` with features set by name.
+
+    Congestion triples are kept consistent: setting a load recomputes the
+    margin; setting a margin recomputes the load (capacity is hardware and
+    only changes when set explicitly).
+    """
+    idx = feature_index()
+    out = np.array(x, dtype=np.float64, copy=True)
+    changed: list[str] = []
+    for name, value in interventions.items():
+        if name not in idx:
+            raise KeyError(f"unknown feature {name!r}")
+        out[idx[name]] = float(value)
+        changed.append(name)
+        triple = _triple_stems(name)
+        if triple is None:
+            continue
+        cap_n, load_n, margin_n = triple
+        cap, load = out[idx[cap_n]], out[idx[load_n]]
+        if name == margin_n:
+            # margin was set: infer the load that realises it
+            out[idx[load_n]] = cap - float(value)
+            changed.append(load_n)
+        else:
+            out[idx[margin_n]] = cap - out[idx[load_n]]
+            if margin_n not in changed:
+                changed.append(margin_n)
+    return out, tuple(changed)
+
+
+def what_if(
+    model,
+    x: np.ndarray,
+    interventions: dict[str, float],
+) -> WhatIfResult:
+    """Re-score a sample under an intervention (model: predict_proba)."""
+    baseline = float(model.predict_proba(np.atleast_2d(x))[0, 1])
+    counterfactual, changed = apply_intervention(x, interventions)
+    new = float(model.predict_proba(counterfactual[None, :])[0, 1])
+    return WhatIfResult(
+        baseline_probability=baseline,
+        new_probability=new,
+        changed_features=changed,
+    )
+
+
+def relief_suggestions(
+    model,
+    x: np.ndarray,
+    shap_values: np.ndarray,
+    top_k: int = 5,
+) -> list[WhatIfResult]:
+    """Candidate single-feature reliefs ranked by achieved probability drop.
+
+    For each of the ``top_k`` highest positive-SHAP features, tries the
+    natural relief: loads drop to half, margins return to half the
+    capacity, counts drop to half — then reports the re-scored probability.
+    """
+    idx = feature_index()
+    names = list(idx)
+    order = np.argsort(-shap_values)[: top_k * 3]
+    results: list[WhatIfResult] = []
+    tried: set[str] = set()  # dedupe by physical quantity (one per triple)
+    for j in order:
+        if shap_values[j] <= 0:
+            continue
+        name = names[j]
+        triple = _triple_stems(name)
+        if triple is not None:
+            cap_n, load_n, _ = triple
+            if load_n in tried:
+                continue
+            tried.add(load_n)
+            cap = x[idx[cap_n]]
+            relief = {load_n: min(x[idx[load_n]], cap) / 2.0}
+        else:
+            if name in tried:
+                continue
+            tried.add(name)
+            relief = {name: x[idx[name]] / 2.0}
+        results.append(what_if(model, x, relief))
+        if len(results) >= top_k:
+            break
+    results.sort(key=lambda r: r.delta)
+    return results

@@ -1,0 +1,79 @@
+"""Serialization helpers for generated designs and flow artefacts.
+
+Designs contain cyclic references (pin ↔ net) and are moderately large, so we
+persist them with :mod:`pickle` at the highest protocol.  Flow artefacts that
+are pure arrays (feature matrices, labels, congestion maps) are stored as
+compressed ``.npz`` by :mod:`repro.features.dataset` instead.
+"""
+
+from __future__ import annotations
+
+import pickle
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+from ..layout.netlist import Design
+
+#: Bump when the on-disk layout of pickled artefacts changes.
+FORMAT_VERSION = 1
+
+
+@contextmanager
+def _deep_recursion(limit: int = 100_000):
+    """Pickling a netlist walks its connectivity graph depth-first (cell →
+    pin → net → pin → cell → ...), which easily exceeds Python's default
+    recursion limit on designs with thousands of connected objects."""
+    old = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old, limit))
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(old)
+
+
+def save_design(design: Design, path: str | Path) -> Path:
+    """Pickle a design (placed or not) to ``path``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"version": FORMAT_VERSION, "design": design}
+    with _deep_recursion(), open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_design(path: str | Path) -> Design:
+    """Load a design pickled by :func:`save_design`."""
+    with _deep_recursion(), open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    _check_version(payload, path)
+    return payload["design"]
+
+
+def save_artifact(obj: Any, path: str | Path) -> Path:
+    """Pickle an arbitrary flow artefact (e.g. a FlowResult)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {"version": FORMAT_VERSION, "artifact": obj}
+    with _deep_recursion(), open(path, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return path
+
+
+def load_artifact(path: str | Path) -> Any:
+    """Load an artefact pickled by :func:`save_artifact`."""
+    with _deep_recursion(), open(path, "rb") as fh:
+        payload = pickle.load(fh)
+    _check_version(payload, path)
+    return payload["artifact"]
+
+
+def _check_version(payload: Any, path: str | Path) -> None:
+    if not isinstance(payload, dict) or "version" not in payload:
+        raise ValueError(f"{path}: not a repro artefact")
+    if payload["version"] != FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: artefact format {payload['version']} != {FORMAT_VERSION}; "
+            "regenerate with the current code"
+        )

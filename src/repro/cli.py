@@ -1,0 +1,181 @@
+"""Command-line interface: ``drcshap <command>``.
+
+Commands
+--------
+
+``suite``      Run the 14-design flow and print the Table I analogue.
+``table2``     Run the leave-one-group-out model comparison (Table II).
+``explain``    Train RF and explain the top predicted hotspots of a design
+               (Fig. 3 + Fig. 4 analogues).
+``report``     Full prediction report for one design (metrics, threshold
+               sweep, P-R curve, top predicted hotspots).
+``flow``       Run the flow on one ad-hoc design and print its statistics.
+``features``   List the 387 canonical feature names.
+
+All heavy commands accept ``--cache`` (default on) so the 14-design flow
+runs only once per scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench.generator import DesignRecipe
+from .bench.suite import GROUPS, group_of
+from .core.evaluation import format_table2, summarize_shape
+from .core.experiment import run_experiment
+from .core.explain import explain_hotspots
+from .core.models import model_zoo
+from .core.pipeline import build_suite_dataset, default_cache_path, run_flow
+from .features.names import describe_feature, feature_names
+from .layout.design_stats import format_table1, group_statistics
+
+
+def _suite(args: argparse.Namespace) -> int:
+    cache = default_cache_path(args.scale) if args.cache else None
+    suite, stats = build_suite_dataset(args.scale, cache_path=cache, verbose=True)
+    by_name = {s.name: s for s in stats}
+    rows = []
+    for group_name, members in GROUPS.items():
+        member_stats = [by_name[m] for m in members if m in by_name]
+        rows.append((group_statistics(group_name, member_stats), member_stats))
+    print(format_table1(rows))
+    print(f"\nTotal samples: {suite.num_samples}")
+    return 0
+
+
+def _table2(args: argparse.Namespace) -> int:
+    cache = default_cache_path(args.scale) if args.cache else None
+    suite, _ = build_suite_dataset(args.scale, cache_path=cache)
+    models = model_zoo(args.preset)
+    if args.models:
+        wanted = set(args.models.split(","))
+        models = [m for m in models if m.name in wanted]
+        if not models:
+            print(f"no models match {args.models!r}", file=sys.stderr)
+            return 2
+    result = run_experiment(suite, models, tune=True, verbose=True)
+    print()
+    print(format_table2(result))
+    print()
+    for k, v in summarize_shape(result).items():
+        print(f"{k}: {v}")
+    return 0
+
+
+def _explain(args: argparse.Namespace) -> int:
+    cache = default_cache_path(args.scale) if args.cache else None
+    suite, _ = build_suite_dataset(args.scale, cache_path=cache)
+    group_of(args.design)  # validate the name early
+    from .bench.suite import SUITE_RECIPES
+
+    flow = run_flow(SUITE_RECIPES[args.design])
+    reports = explain_hotspots(
+        suite, flow, num_hotspots=args.num, preset=args.preset
+    )
+    for report in reports:
+        print(report.render())
+        print()
+    return 0
+
+
+def _report(args: argparse.Namespace) -> int:
+    from .analysis import design_report
+    from .core.explain import train_explanation_forest
+
+    cache = default_cache_path(args.scale) if args.cache else None
+    suite, _ = build_suite_dataset(args.scale, cache_path=cache)
+    dataset = suite.by_name(args.design)
+    model = train_explanation_forest(suite, args.design, preset=args.preset)
+    scores = model.predict_proba(dataset.X)[:, 1]
+    print(design_report(dataset, scores, top_k=args.top))
+    return 0
+
+
+def _flow(args: argparse.Namespace) -> int:
+    recipe = DesignRecipe(
+        name=args.name,
+        grid_nx=args.grid,
+        grid_ny=args.grid,
+        utilization=args.utilization,
+        num_macros=args.macros,
+        macro_area_frac=0.08 if args.macros else 0.0,
+        seed=args.seed,
+    )
+    result = run_flow(recipe)
+    from .route.report import routing_report
+
+    print(result.stats.format_row())
+    print()
+    print(routing_report(result.routing, recipe.name))
+    print()
+    print(f"violations : {result.drc_report.num_violations} "
+          f"({result.stats.num_hotspots} hotspot g-cells)")
+    for stage, sec in result.stage_seconds.items():
+        print(f"  {stage:<12s} {sec:6.2f} s")
+    return 0
+
+
+def _features(args: argparse.Namespace) -> int:
+    for name in feature_names():
+        if args.verbose:
+            print(f"{name:<16s} {describe_feature(name)}")
+        else:
+            print(name)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="drcshap",
+        description="Explainable DRC hotspot prediction (DATE 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("suite", help="run the 14-design flow; print Table I")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--no-cache", dest="cache", action="store_false")
+    p.set_defaults(func=_suite)
+
+    p = sub.add_parser("table2", help="model comparison (Table II)")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--preset", choices=("fast", "full"), default="fast")
+    p.add_argument("--models", help="comma-separated subset, e.g. RF,SVM-RBF")
+    p.add_argument("--no-cache", dest="cache", action="store_false")
+    p.set_defaults(func=_table2)
+
+    p = sub.add_parser("explain", help="explain hotspots of one design")
+    p.add_argument("design", help="suite design name, e.g. des_perf_1")
+    p.add_argument("--num", type=int, default=3)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--preset", choices=("fast", "full"), default="fast")
+    p.add_argument("--no-cache", dest="cache", action="store_false")
+    p.set_defaults(func=_explain)
+
+    p = sub.add_parser("report", help="full prediction report for one design")
+    p.add_argument("design", help="suite design name, e.g. mult_b")
+    p.add_argument("--top", type=int, default=10)
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--preset", choices=("fast", "full"), default="fast")
+    p.add_argument("--no-cache", dest="cache", action="store_false")
+    p.set_defaults(func=_report)
+
+    p = sub.add_parser("flow", help="run the flow on one ad-hoc design")
+    p.add_argument("--name", default="adhoc")
+    p.add_argument("--grid", type=int, default=20)
+    p.add_argument("--utilization", type=float, default=0.65)
+    p.add_argument("--macros", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_flow)
+
+    p = sub.add_parser("features", help="list the 387 feature names")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.set_defaults(func=_features)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

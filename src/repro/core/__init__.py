@@ -1,0 +1,32 @@
+"""The paper's core workflow: flow pipeline, experiment protocol, explanations."""
+
+from .evaluation import format_table2, summarize_shape
+from .experiment import DesignScore, ExperimentResult, ModelRunStats, run_experiment
+from .explain import (
+    HotspotExplanationReport,
+    explain_hotspots,
+    explanation_layers_mentioned,
+    train_explanation_forest,
+)
+from .models import ModelSpec, model_zoo, rf_spec
+from .pipeline import FlowResult, build_suite_dataset, default_cache_path, run_flow
+
+__all__ = [
+    "format_table2",
+    "summarize_shape",
+    "DesignScore",
+    "ExperimentResult",
+    "ModelRunStats",
+    "run_experiment",
+    "HotspotExplanationReport",
+    "explain_hotspots",
+    "explanation_layers_mentioned",
+    "train_explanation_forest",
+    "ModelSpec",
+    "model_zoo",
+    "rf_spec",
+    "FlowResult",
+    "build_suite_dataset",
+    "default_cache_path",
+    "run_flow",
+]

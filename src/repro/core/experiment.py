@@ -1,0 +1,197 @@
+"""The paper's experiment protocol: leave-one-group-out over the suite.
+
+For every one of the 5 groups (Table I):
+
+1. the group's designs form the **test set** — none of their samples are
+   visible during training or tuning;
+2. hyper-parameters (if a model has a grid) are chosen by 4-fold grouped CV
+   over the remaining 4 groups, scored by A_prc;
+3. the model is refitted on all 4 training groups;
+4. each test design is scored individually (TPR*, Prec*, A_prc at
+   FPR* = 0.5 %); designs with zero hotspots are skipped, like the paper's
+   footnote 3.
+
+The result object carries everything Table II reports: per-design metric
+rows, per-model averages and winning-design counts, #parameters,
+#prediction operations, and training/prediction CPU time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..features.dataset import SuiteDataset
+from ..ml.complexity import complexity_of
+from ..ml.metrics import EvaluationResult, evaluate_scores
+from ..ml.model_selection import grid_search, positive_scores
+from ..ml.scaling import StandardScaler
+from .models import ModelSpec
+
+
+@dataclass
+class DesignScore:
+    """One (model, design) cell block of Table II."""
+
+    design: str
+    model: str
+    metrics: EvaluationResult
+
+
+@dataclass
+class ModelRunStats:
+    """Per-model cost numbers of Table II's bottom rows."""
+
+    model: str
+    num_parameters: float = 0.0  # averaged over the 5 group models
+    prediction_ops: float = 0.0
+    train_minutes: float = 0.0  # per model (average over groups)
+    predict_minutes_per_design: float = 0.0
+    best_params_per_group: dict[int, dict[str, Any]] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """Everything needed to print Table II."""
+
+    scores: list[DesignScore]
+    run_stats: list[ModelRunStats]
+    design_order: list[str]
+    model_order: list[str]
+    target_fpr: float
+
+    def score_of(self, design: str, model: str) -> EvaluationResult | None:
+        for s in self.scores:
+            if s.design == design and s.model == model:
+                return s.metrics
+        return None
+
+    # -- aggregates -----------------------------------------------------------------
+
+    def averages(self, model: str) -> tuple[float, float, float]:
+        """(mean TPR*, mean Prec*, mean A_prc) over scored designs."""
+        rows = [s.metrics for s in self.scores if s.model == model]
+        if not rows:
+            return (0.0, 0.0, 0.0)
+        return (
+            float(np.mean([r.tpr_star for r in rows])),
+            float(np.mean([r.prec_star for r in rows])),
+            float(np.mean([r.a_prc for r in rows])),
+        )
+
+    def winning_designs(self, model: str) -> tuple[int, int, int]:
+        """How many designs this model wins per metric (ties count for all)."""
+        wins = [0, 0, 0]
+        for design in self.design_order:
+            per_model: dict[str, EvaluationResult] = {}
+            for m in self.model_order:
+                r = self.score_of(design, m)
+                if r is not None:
+                    per_model[m] = r
+            if model not in per_model:
+                continue
+            for k, attr in enumerate(("tpr_star", "prec_star", "a_prc")):
+                best = max(getattr(r, attr) for r in per_model.values())
+                if getattr(per_model[model], attr) >= best - 1e-12:
+                    wins[k] += 1
+        return tuple(wins)  # type: ignore[return-value]
+
+
+def run_experiment(
+    suite: SuiteDataset,
+    models: list[ModelSpec],
+    target_fpr: float = 0.005,
+    tune: bool = True,
+    verbose: bool = False,
+) -> ExperimentResult:
+    """Run the full leave-one-group-out protocol for every model."""
+    groups_present = sorted({d.group for d in suite.designs})
+    scores: list[DesignScore] = []
+    run_stats: list[ModelRunStats] = []
+
+    for spec in models:
+        stats = ModelRunStats(model=spec.name)
+        n_models = 0
+        n_pred_designs = 0
+        for g in groups_present:
+            X_train, y_train, train_groups = suite.stacked(exclude_groups=(g,))
+            test_designs = [d for d in suite.designs if d.group == g]
+            if y_train.sum() == 0:
+                continue
+
+            scaler: StandardScaler | None = None
+            if spec.needs_scaling:
+                scaler = StandardScaler().fit(X_train)
+                X_fit = scaler.transform(X_train)
+            else:
+                X_fit = X_train
+
+            params: dict[str, Any] = {}
+            t0 = time.process_time()
+            if tune and spec.param_grid:
+                search = grid_search(
+                    spec.factory, spec.param_grid, X_fit, y_train, train_groups
+                )
+                params = search.best_params
+            model = spec.factory(**params)
+            model.fit(X_fit, y_train)
+            stats.train_minutes += (time.process_time() - t0) / 60.0
+            stats.best_params_per_group[g] = params
+            n_models += 1
+
+            # complexity on this group's model (averaged at the end);
+            # custom estimators without a complexity model count as zero
+            X_ref = X_fit[: min(len(X_fit), 2048)]
+            try:
+                report = complexity_of(model, X_ref, spec.name)
+            except TypeError:
+                report = None
+            if report is not None:
+                stats.num_parameters += report.num_parameters
+                stats.prediction_ops += report.prediction_ops_per_sample
+
+            for d in test_designs:
+                if d.num_hotspots == 0 or d.num_hotspots == d.num_samples:
+                    continue  # metrics undefined (paper footnote 3)
+                X_test = scaler.transform(d.X) if scaler is not None else d.X
+                t0 = time.process_time()
+                s = positive_scores(model, X_test)
+                stats.predict_minutes_per_design += (time.process_time() - t0) / 60.0
+                n_pred_designs += 1
+                scores.append(
+                    DesignScore(
+                        design=d.name,
+                        model=spec.name,
+                        metrics=evaluate_scores(d.y, s, target_fpr),
+                    )
+                )
+                if verbose:
+                    m = scores[-1].metrics
+                    print(
+                        f"  {spec.name:<9s} {d.name:<12s} TPR*={m.tpr_star:.4f} "
+                        f"Prec*={m.prec_star:.4f} A_prc={m.a_prc:.4f}",
+                        flush=True,
+                    )
+
+        if n_models:
+            stats.num_parameters /= n_models
+            stats.prediction_ops /= n_models
+            stats.train_minutes /= n_models
+        if n_pred_designs:
+            stats.predict_minutes_per_design /= n_pred_designs
+        run_stats.append(stats)
+
+    return ExperimentResult(
+        scores=scores,
+        run_stats=run_stats,
+        design_order=[
+            d.name
+            for d in suite.designs
+            if 0 < d.num_hotspots < d.num_samples
+        ],
+        model_order=[m.name for m in models],
+        target_fpr=target_fpr,
+    )

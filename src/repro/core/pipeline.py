@@ -1,0 +1,182 @@
+"""The end-to-end flow of the paper's Fig. 1, per design and per suite.
+
+``run_flow`` pushes one design recipe through every stage:
+
+    generate → place (global + legalise) → global route → detailed-routing
+    simulation + DRC → labels → 387-feature extraction
+
+and returns a :class:`FlowResult` carrying everything downstream consumers
+need: the feature matrix and labels (model training), the loaded routing
+grid and placement maps (explanations, Fig. 3 congestion pictures), the DRC
+report (validation of explanations), and the Table I statistics row.
+
+``build_suite_dataset`` runs the whole 14-design suite and assembles the
+grouped :class:`~repro.features.dataset.SuiteDataset`, with an ``.npz``
+cache so repeated benchmark runs skip the flow.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..bench.generator import DesignRecipe, generate_design
+from ..bench.suite import group_index_of, suite_recipes
+from ..drc.checker import DRCReport
+from ..drc.detailed import DRCSimConfig, simulate_drc
+from ..drc.labels import hotspot_labels
+from ..features.dataset import DesignDataset, SuiteDataset
+from ..features.extractor import extract_features
+from ..layout.design_stats import DesignStats, design_statistics
+from ..layout.grid import GCellGrid
+from ..layout.netlist import Design
+from ..layout.placemap import PlacementMaps
+from ..place.placer import PlacerConfig, place_design
+from ..route.router import RouterConfig, RoutingResult, route_design
+
+
+@dataclass
+class FlowResult:
+    """Everything the flow produces for one design."""
+
+    design: Design
+    grid: GCellGrid
+    routing: RoutingResult
+    placemaps: PlacementMaps
+    drc_report: DRCReport
+    stats: DesignStats
+    X: np.ndarray
+    y: np.ndarray
+    stage_seconds: dict[str, float]
+
+    @property
+    def dataset(self) -> DesignDataset:
+        return DesignDataset(
+            name=self.design.name,
+            group=_safe_group(self.design.name),
+            X=self.X,
+            y=self.y,
+            grid_nx=self.grid.nx,
+            grid_ny=self.grid.ny,
+        )
+
+
+def _safe_group(name: str) -> int:
+    try:
+        return group_index_of(name)
+    except KeyError:
+        return 0  # ad-hoc designs outside the named suite
+
+
+def run_flow(
+    recipe: DesignRecipe,
+    placer_config: PlacerConfig | None = None,
+    router_config: RouterConfig | None = None,
+    drc_config: DRCSimConfig | None = None,
+) -> FlowResult:
+    """Run the full Fig. 1 flow for one design recipe."""
+    times: dict[str, float] = {}
+
+    t0 = time.perf_counter()
+    design = generate_design(recipe)
+    times["generate"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    place_design(design, placer_config)
+    times["place"] = time.perf_counter() - t0
+
+    grid = GCellGrid.for_design_die(design.die, design.technology)
+    t0 = time.perf_counter()
+    routing = route_design(design, grid, router_config)
+    times["global_route"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    placemaps = PlacementMaps(design, grid)
+    report = simulate_drc(design, routing.rgrid, placemaps, drc_config)
+    times["drc_sim"] = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    X = extract_features(grid, routing.rgrid, placemaps)
+    y = hotspot_labels(report, grid)
+    times["features"] = time.perf_counter() - t0
+
+    stats = design_statistics(design, grid, report.num_hotspots(grid))
+    return FlowResult(
+        design=design,
+        grid=grid,
+        routing=routing,
+        placemaps=placemaps,
+        drc_report=report,
+        stats=stats,
+        X=X,
+        y=y,
+        stage_seconds=times,
+    )
+
+
+#: JSON sidecar fields persisted next to the dataset cache for Table I.
+_STATS_FIELDS = (
+    "name",
+    "num_gcells",
+    "num_hotspots",
+    "num_macros",
+    "num_cells",
+    "layout_width_um",
+    "layout_height_um",
+)
+
+
+def build_suite_dataset(
+    scale: float = 1.0,
+    cache_path: str | Path | None = None,
+    verbose: bool = False,
+) -> tuple[SuiteDataset, list[DesignStats]]:
+    """Run (or load) the complete 14-design suite.
+
+    When ``cache_path`` is given and exists, the dataset and stats sidecar
+    are loaded instead of re-running the flow; otherwise the flow runs and
+    the cache is written.
+    """
+    if cache_path is not None:
+        cache_path = Path(cache_path)
+        sidecar = cache_path.with_suffix(".stats.json")
+        if cache_path.exists() and sidecar.exists():
+            suite = SuiteDataset.load(cache_path)
+            stats = [
+                DesignStats(**row) for row in json.loads(sidecar.read_text())
+            ]
+            return suite, stats
+
+    datasets: list[DesignDataset] = []
+    stats: list[DesignStats] = []
+    for recipe in suite_recipes(scale):
+        result = run_flow(recipe)
+        datasets.append(result.dataset)
+        stats.append(result.stats)
+        if verbose:
+            print(
+                f"  {recipe.name:<12s} {result.stats.num_gcells:>6d} g-cells "
+                f"{result.stats.num_hotspots:>5d} hotspots "
+                f"({sum(result.stage_seconds.values()):.1f}s)",
+                flush=True,
+            )
+
+    suite = SuiteDataset(datasets)
+    if cache_path is not None:
+        suite.save(cache_path)
+        sidecar = Path(cache_path).with_suffix(".stats.json")
+        sidecar.write_text(
+            json.dumps([{f: getattr(s, f) for f in _STATS_FIELDS} for s in stats])
+        )
+    return suite, stats
+
+
+def default_cache_path(scale: float = 1.0) -> Path:
+    """Canonical cache location for a suite at the given scale."""
+    root = Path(__file__).resolve().parents[3] / ".cache"
+    tag = f"suite_scale{scale:g}".replace(".", "p")
+    return root / f"{tag}.npz"

@@ -1,0 +1,18 @@
+"""DRC substrate: track-stress model, detailed-routing simulator, checker, labels."""
+
+from .checker import DRCReport, Violation, ViolationType
+from .detailed import DetailedRoutingSimulator, DRCSimConfig, simulate_drc
+from .labels import hotspot_cells, hotspot_labels
+from .tracks import TrackStressModel
+
+__all__ = [
+    "DRCReport",
+    "Violation",
+    "ViolationType",
+    "DetailedRoutingSimulator",
+    "DRCSimConfig",
+    "simulate_drc",
+    "hotspot_cells",
+    "hotspot_labels",
+    "TrackStressModel",
+]

@@ -1,0 +1,29 @@
+"""Label extraction: DRC report → per-sample binary labels.
+
+A sample is positive iff its *central* g-cell is a DRC hotspot, i.e. the
+g-cell overlaps at least one DRC-error bounding box (paper Sec. II-A).
+Labels are returned in the grid's raster order, matching the feature
+extractor's sample order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.grid import GCellGrid
+from .checker import DRCReport
+
+
+def hotspot_labels(report: DRCReport, grid: GCellGrid) -> np.ndarray:
+    """Binary label vector (int8) over all g-cells in raster order."""
+    mask = report.hotspot_mask(grid)
+    labels = np.zeros(grid.num_cells, dtype=np.int8)
+    for ix, iy in grid.iter_cells():
+        labels[grid.flat_index(ix, iy)] = 1 if mask[ix, iy] else 0
+    return labels
+
+
+def hotspot_cells(report: DRCReport, grid: GCellGrid) -> list[tuple[int, int]]:
+    """Grid indices of all hotspot g-cells, raster order."""
+    mask = report.hotspot_mask(grid)
+    return [(ix, iy) for ix, iy in grid.iter_cells() if mask[ix, iy]]

@@ -1,0 +1,142 @@
+"""Dataset containers: per-design feature matrices, labels and grouping.
+
+The experiment protocol of the paper is *design-grouped*: the 14 designs are
+split into 5 fixed groups; testing on a design excludes its whole group from
+training.  These containers keep the design and group identity attached to
+every sample so :mod:`repro.core.experiment` can enforce that protocol.
+
+Datasets cache to a single compressed ``.npz`` per suite, so benchmarks can
+re-run without re-routing all 14 designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .names import NUM_FEATURES
+
+
+@dataclass
+class DesignDataset:
+    """All samples of one design."""
+
+    name: str
+    group: int  # 0-based Table I group index
+    X: np.ndarray  # (n, 387) float64
+    y: np.ndarray  # (n,) int8
+    grid_nx: int
+    grid_ny: int
+
+    def __post_init__(self) -> None:
+        if self.X.ndim != 2 or self.X.shape[1] != NUM_FEATURES:
+            raise ValueError(
+                f"{self.name}: X shape {self.X.shape} != (n, {NUM_FEATURES})"
+            )
+        if self.y.shape != (self.X.shape[0],):
+            raise ValueError(f"{self.name}: y shape {self.y.shape} mismatches X")
+        if self.X.shape[0] != self.grid_nx * self.grid_ny:
+            raise ValueError(f"{self.name}: sample count != grid size")
+
+    @property
+    def num_samples(self) -> int:
+        return self.X.shape[0]
+
+    @property
+    def num_hotspots(self) -> int:
+        return int(self.y.sum())
+
+    def sample_index(self, ix: int, iy: int) -> int:
+        """Row index of the g-cell (ix, iy) (raster order)."""
+        if not (0 <= ix < self.grid_nx and 0 <= iy < self.grid_ny):
+            raise IndexError(f"({ix}, {iy}) outside {self.grid_nx}x{self.grid_ny}")
+        return iy * self.grid_nx + ix
+
+    def cell_of_sample(self, row: int) -> tuple[int, int]:
+        return (row % self.grid_nx, row // self.grid_nx)
+
+
+@dataclass
+class SuiteDataset:
+    """The full suite: a list of per-design datasets in Table I order."""
+
+    designs: list[DesignDataset]
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.designs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate design names in suite")
+
+    # -- queries -----------------------------------------------------------------
+
+    def by_name(self, name: str) -> DesignDataset:
+        for d in self.designs:
+            if d.name == name:
+                return d
+        raise KeyError(f"design {name!r} not in suite")
+
+    @property
+    def names(self) -> list[str]:
+        return [d.name for d in self.designs]
+
+    @property
+    def num_samples(self) -> int:
+        return sum(d.num_samples for d in self.designs)
+
+    def stacked(
+        self, exclude_groups: tuple[int, ...] = ()
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(X, y, groups) over all designs not in ``exclude_groups``.
+
+        ``groups`` carries each sample's 0-based group index, the key the
+        grouped cross-validation splits on.
+        """
+        keep = [d for d in self.designs if d.group not in exclude_groups]
+        if not keep:
+            raise ValueError("all groups excluded")
+        X = np.vstack([d.X for d in keep])
+        y = np.concatenate([d.y for d in keep]).astype(np.int8)
+        groups = np.concatenate(
+            [np.full(d.num_samples, d.group, dtype=np.int32) for d in keep]
+        )
+        return X, y, groups
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path: str | Path) -> Path:
+        """Write the whole suite to one compressed .npz file."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload: dict[str, np.ndarray] = {
+            "names": np.array(self.names),
+            "groups": np.array([d.group for d in self.designs], dtype=np.int32),
+            "grids": np.array(
+                [[d.grid_nx, d.grid_ny] for d in self.designs], dtype=np.int32
+            ),
+        }
+        for d in self.designs:
+            payload[f"X_{d.name}"] = d.X.astype(np.float32)  # compact on disk
+            payload[f"y_{d.name}"] = d.y
+        np.savez_compressed(path, **payload)
+        return path
+
+    @staticmethod
+    def load(path: str | Path) -> "SuiteDataset":
+        with np.load(path, allow_pickle=False) as data:
+            names = [str(n) for n in data["names"]]
+            groups = data["groups"]
+            grids = data["grids"]
+            designs = [
+                DesignDataset(
+                    name=name,
+                    group=int(groups[i]),
+                    X=data[f"X_{name}"].astype(np.float64),
+                    y=data[f"y_{name}"].astype(np.int8),
+                    grid_nx=int(grids[i][0]),
+                    grid_ny=int(grids[i][1]),
+                )
+                for i, name in enumerate(names)
+            ]
+        return SuiteDataset(designs=designs)

@@ -1,0 +1,112 @@
+"""Canonical names and ordering of the 387 features.
+
+The paper extracts 387 features per sample (Sec. II-A):
+
+* 9 window cells × 11 placement features                      =  99
+* 12 window edges × 5 metal layers × {C, L, C−L}              = 180
+* 9 window cells × 4 via layers × {C, L, C−L}                 = 108
+
+Naming follows the convention of the paper's Fig. 3(d) as closely as the
+text allows:
+
+* ``ec``/``el``/``ed`` prefixes are the edge **c**apacity, **l**oad and
+  margin (**d**ifference C−L) — the paper's ``edM4_4V`` is our ``edM4_4V``
+  too; window-edge labels (``1H`` .. ``12H``) are defined in
+  :mod:`repro.layout.grid`.
+* ``vc``/``vl``/``vd`` are the via capacity / load / margin; the paper's
+  ``v1V2_E`` (via load, layer V2, east cell) corresponds to our ``vlV2_E``.
+* Placement features carry the window-position suffix:
+  ``x_o, y_o, cells_N, pins_NE, clkpins_o, lnets_o, lpins_o, ndrpins_o,
+  pinspace_o, blkg_o, cellarea_o`` etc.
+
+The *order* of the list is the column order of every feature matrix in this
+repository.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..layout.grid import WINDOW_EDGES, WINDOW_POSITIONS
+
+#: Placement feature stems, in column order, one block per window position.
+PLACEMENT_STEMS: tuple[str, ...] = (
+    "x",         # normalised centre x of the g-cell
+    "y",         # normalised centre y
+    "cells",     # standard cells fully inside
+    "pins",      # pins inside
+    "clkpins",   # clock pins inside
+    "lnets",     # local nets (all pins inside this g-cell)
+    "lpins",     # pins belonging to local nets
+    "ndrpins",   # pins with non-default rules
+    "pinspace",  # mean pair-wise Manhattan pin distance
+    "blkg",      # fraction of area under blockages
+    "cellarea",  # fraction of area under standard cells
+)
+
+#: Metal layers in feature order (all five, as the paper counts them).
+FEATURE_METAL_LAYERS: tuple[int, ...] = (1, 2, 3, 4, 5)
+
+#: Via layers in feature order.
+FEATURE_VIA_LAYERS: tuple[int, ...] = (1, 2, 3, 4)
+
+#: Congestion value kinds, in column order per edge/cell.
+CONGESTION_KINDS: tuple[str, ...] = ("c", "l", "d")  # capacity, load, margin
+
+
+@lru_cache(maxsize=1)
+def feature_names() -> tuple[str, ...]:
+    """All 387 feature names in canonical column order."""
+    names: list[str] = []
+    # 1) placement block: position-major, stem-minor
+    for pos in WINDOW_POSITIONS:
+        for stem in PLACEMENT_STEMS:
+            names.append(f"{stem}_{pos}")
+    # 2) edge congestion: layer-major, edge-minor, kind-innermost
+    for m in FEATURE_METAL_LAYERS:
+        for edge in WINDOW_EDGES:
+            for kind in CONGESTION_KINDS:
+                names.append(f"e{kind}M{m}_{edge.label}")
+    # 3) via congestion: layer-major, position-minor, kind-innermost
+    for v in FEATURE_VIA_LAYERS:
+        for pos in WINDOW_POSITIONS:
+            for kind in CONGESTION_KINDS:
+                names.append(f"v{kind}V{v}_{pos}")
+    return tuple(names)
+
+
+NUM_FEATURES = 387
+
+
+@lru_cache(maxsize=1)
+def feature_index() -> dict[str, int]:
+    """Name → column index lookup."""
+    return {name: i for i, name in enumerate(feature_names())}
+
+
+def describe_feature(name: str) -> str:
+    """Human-readable description of one feature, for explanation reports."""
+    idx = feature_index().get(name)
+    if idx is None:
+        raise KeyError(f"unknown feature {name!r}")
+    stem, _, suffix = name.partition("_")
+    if stem.startswith("e") and stem[1] in "cld":
+        kind = {"c": "capacity", "l": "load", "d": "margin (C-L)"}[stem[1]]
+        return f"GR edge {kind} on {stem[2:]} at window edge {suffix}"
+    if stem.startswith("v") and stem[1] in "cld":
+        kind = {"c": "capacity", "l": "load", "d": "margin (C-L)"}[stem[1]]
+        return f"via {kind} on {stem[2:]} in window cell {suffix}"
+    descriptions = {
+        "x": "normalised centre x",
+        "y": "normalised centre y",
+        "cells": "standard cells fully inside",
+        "pins": "pins inside",
+        "clkpins": "clock pins inside",
+        "lnets": "local nets",
+        "lpins": "pins on local nets",
+        "ndrpins": "pins with non-default rules",
+        "pinspace": "mean pair-wise Manhattan pin spacing",
+        "blkg": "blockage area fraction",
+        "cellarea": "standard-cell area fraction",
+    }
+    return f"{descriptions[stem]} in window cell {suffix}"

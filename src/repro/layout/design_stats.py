@@ -1,0 +1,100 @@
+"""Per-design statistics — the quantities reported in Table I of the paper.
+
+Table I lists, per design and per group: the number of g-cells, the number of
+DRC hotspots, the number of macros, the cell count (in thousands) and the
+layout size in microns.  :func:`design_statistics` computes the same row for
+one of our designs, and :func:`group_statistics` aggregates rows the way the
+table's group header rows do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .grid import GCellGrid
+from .netlist import Design
+
+
+@dataclass(frozen=True, slots=True)
+class DesignStats:
+    """One row of Table I."""
+
+    name: str
+    num_gcells: int
+    num_hotspots: int
+    num_macros: int
+    num_cells: int
+    layout_width_um: float
+    layout_height_um: float
+
+    @property
+    def cells_k(self) -> float:
+        """Cell count in thousands, as Table I reports it."""
+        return self.num_cells / 1000.0
+
+    @property
+    def hotspot_rate(self) -> float:
+        """Fraction of g-cells that are DRC hotspots (class imbalance)."""
+        if self.num_gcells == 0:
+            return 0.0
+        return self.num_hotspots / self.num_gcells
+
+    def format_row(self) -> str:
+        """Render in the style of a Table I body row."""
+        return (
+            f"{self.name:<12s} {self.num_gcells:>9d} {self.num_hotspots:>10d} "
+            f"{self.num_macros:>8d} {self.cells_k:>9.1f} "
+            f"{self.layout_width_um:.0f}x{self.layout_height_um:.0f}"
+        )
+
+
+def design_statistics(
+    design: Design, grid: GCellGrid, num_hotspots: int
+) -> DesignStats:
+    """Assemble the Table I row for a routed-and-checked design."""
+    dbu = design.technology.dbu_per_micron
+    return DesignStats(
+        name=design.name,
+        num_gcells=grid.num_cells,
+        num_hotspots=num_hotspots,
+        num_macros=len(design.macros),
+        num_cells=design.num_cells,
+        layout_width_um=design.die.width / dbu,
+        layout_height_um=design.die.height / dbu,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class GroupStats:
+    """One group header row of Table I (g-cells and hotspots are summed)."""
+
+    name: str
+    num_gcells: int
+    num_hotspots: int
+
+    def format_row(self) -> str:
+        return (
+            f"{self.name:<12s} {self.num_gcells:>9d} {self.num_hotspots:>10d} "
+            f"{'-':>8s} {'-':>9s} {'-':>9s}"
+        )
+
+
+def group_statistics(name: str, members: list[DesignStats]) -> GroupStats:
+    return GroupStats(
+        name=name,
+        num_gcells=sum(m.num_gcells for m in members),
+        num_hotspots=sum(m.num_hotspots for m in members),
+    )
+
+
+def format_table1(groups: list[tuple[GroupStats, list[DesignStats]]]) -> str:
+    """Render the whole of Table I as fixed-width text."""
+    header = (
+        f"{'Design':<12s} {'#G-cells':>9s} {'#Hotspots':>10s} "
+        f"{'#Macros':>8s} {'#Cells(k)':>9s} {'Size(um)':>9s}"
+    )
+    lines = [header, "-" * len(header)]
+    for group, members in groups:
+        lines.append(group.format_row())
+        lines.extend(m.format_row() for m in members)
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""The global-routing grid: g-cells, 3×3 windows and window edges.
+
+Global routing divides the die into square *g-cells*.  Every data sample of
+the paper corresponds to one g-cell expanded to a **3×3 window** (the central
+g-cell plus its 8 compass neighbours); window positions are named after
+Fig. 3(d) of the paper::
+
+        NW  N  NE
+        W   o  E        (o = the central g-cell)
+        SW  S  SE
+
+A 3×3 window contains exactly **12 interior border edges** — 6 horizontal
+boundaries crossed by vertical wires (suffix ``V``) and 6 vertical boundaries
+crossed by horizontal wires (suffix ``H``).  We number them 1..12 in raster
+order of their midpoints (bottom-to-top, then left-to-right); the exact
+numbering in the paper's figure is not recoverable from the text, so ours is
+the documented convention used consistently by features, explanations and
+plots:
+
+.. code-block:: text
+
+        +----+----+----+
+        | NW 11H N  12H NE |      row of N-cells, H edges 11, 12
+        +-8V-+-9V-+-10V+
+        | W  6H  o  7H  E |      center row, H edges 6, 7
+        +-3V-+-4V-+-5V-+
+        | SW 1H  S  2H  SE |      row of S-cells, H edges 1, 2
+        +----+----+----+
+
+Windows centred on boundary g-cells are padded with *blank* g-cells outside
+the die (footnote 2 of the paper): blank cells contribute zero counts and
+zero-capacity edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from .geometry import Point, Rect
+from .technology import Technology
+
+#: Window position names in Fig. 3(d) order; ``o`` is the central g-cell.
+#: The tuple order (raster, SW..NE) is the canonical feature order.
+WINDOW_POSITIONS: tuple[str, ...] = ("SW", "S", "SE", "W", "o", "E", "NW", "N", "NE")
+
+#: (dx, dy) grid offset of each window position relative to the centre.
+WINDOW_OFFSETS: dict[str, tuple[int, int]] = {
+    "SW": (-1, -1),
+    "S": (0, -1),
+    "SE": (1, -1),
+    "W": (-1, 0),
+    "o": (0, 0),
+    "E": (1, 0),
+    "NW": (-1, 1),
+    "N": (0, 1),
+    "NE": (1, 1),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class WindowEdge:
+    """One of the 12 interior border edges of a 3×3 window.
+
+    ``label``
+        The canonical name, e.g. ``"4V"`` or ``"7H"``.
+    ``orientation``
+        ``"V"`` — a horizontal boundary crossed by vertical wires;
+        ``"H"`` — a vertical boundary crossed by horizontal wires.
+    ``cell_a`` / ``cell_b``
+        Grid offsets (dx, dy) of the two g-cells the edge separates,
+        relative to the window centre.  ``cell_a`` is always the lower/left
+        one.
+    """
+
+    label: str
+    orientation: str
+    cell_a: tuple[int, int]
+    cell_b: tuple[int, int]
+
+
+def _build_window_edges() -> tuple[WindowEdge, ...]:
+    edges: list[WindowEdge] = []
+    number = 1
+    # Raster order by edge-midpoint y, then x.  Rows of H edges (inside a
+    # cell row) interleave with rows of V edges (between cell rows).
+    for dy in (-1, 0, 1):
+        # H edges inside the cell row at dy: between (-1,dy)-(0,dy), (0,dy)-(1,dy)
+        for dx_a in (-1, 0):
+            edges.append(
+                WindowEdge(f"{number}H", "H", (dx_a, dy), (dx_a + 1, dy))
+            )
+            number += 1
+        # V edges between cell row dy and dy+1 (skip after the top row)
+        if dy < 1:
+            for dx in (-1, 0, 1):
+                edges.append(
+                    WindowEdge(f"{number}V", "V", (dx, dy), (dx, dy + 1))
+                )
+                number += 1
+    return tuple(edges)
+
+
+#: The 12 interior edges of a 3×3 window, in canonical (numbered) order.
+WINDOW_EDGES: tuple[WindowEdge, ...] = _build_window_edges()
+
+
+@dataclass(frozen=True)
+class GCellGrid:
+    """A uniform grid of square g-cells covering the die.
+
+    Grid indices are ``(ix, iy)`` with the origin at the lower-left; the cell
+    covers ``[xlo + ix*size, xlo + (ix+1)*size)`` horizontally and similarly
+    vertically.  The die is assumed to be an integer number of g-cells in
+    each dimension (the benchmark generator guarantees this).
+    """
+
+    die: Rect
+    size: float
+    nx: int
+    ny: int
+
+    @staticmethod
+    def for_design_die(die: Rect, technology: Technology) -> "GCellGrid":
+        """Grid for a die using the technology's g-cell size."""
+        size = technology.gcell_size
+        nx = max(1, round(die.width / size))
+        ny = max(1, round(die.height / size))
+        return GCellGrid(die=die, size=size, nx=nx, ny=ny)
+
+    # -- index arithmetic -------------------------------------------------------
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny
+
+    def in_bounds(self, ix: int, iy: int) -> bool:
+        return 0 <= ix < self.nx and 0 <= iy < self.ny
+
+    def cell_of_point(self, p: Point) -> tuple[int, int]:
+        """Grid index of the g-cell containing ``p`` (die-boundary clamped)."""
+        ix = int((p.x - self.die.xlo) / self.size)
+        iy = int((p.y - self.die.ylo) / self.size)
+        return (min(max(ix, 0), self.nx - 1), min(max(iy, 0), self.ny - 1))
+
+    def cell_bbox(self, ix: int, iy: int) -> Rect:
+        if not self.in_bounds(ix, iy):
+            raise IndexError(f"g-cell ({ix}, {iy}) outside {self.nx}x{self.ny} grid")
+        x = self.die.xlo + ix * self.size
+        y = self.die.ylo + iy * self.size
+        return Rect(x, y, x + self.size, y + self.size)
+
+    def cell_center(self, ix: int, iy: int) -> Point:
+        return self.cell_bbox(ix, iy).center
+
+    def normalized_center(self, ix: int, iy: int) -> tuple[float, float]:
+        """Centre coordinates normalised to [0, 1] — the paper's x/y features."""
+        c = self.cell_center(ix, iy)
+        return (
+            (c.x - self.die.xlo) / self.die.width,
+            (c.y - self.die.ylo) / self.die.height,
+        )
+
+    def iter_cells(self) -> Iterator[tuple[int, int]]:
+        """All grid indices in raster order (iy-major)."""
+        for iy in range(self.ny):
+            for ix in range(self.nx):
+                yield (ix, iy)
+
+    def flat_index(self, ix: int, iy: int) -> int:
+        """Raster-order flat index, matching :meth:`iter_cells` order."""
+        if not self.in_bounds(ix, iy):
+            raise IndexError(f"g-cell ({ix}, {iy}) outside grid")
+        return iy * self.nx + ix
+
+    def from_flat_index(self, flat: int) -> tuple[int, int]:
+        if not 0 <= flat < self.num_cells:
+            raise IndexError(f"flat index {flat} outside grid")
+        return (flat % self.nx, flat // self.nx)
+
+    # -- windows --------------------------------------------------------------------
+
+    def window_cells(self, ix: int, iy: int) -> list[tuple[str, int, int] | None]:
+        """The 9 window cells around (ix, iy) in canonical position order.
+
+        Each entry is ``(position_name, wx, wy)`` or ``None`` for blank
+        padding cells outside the die.
+        """
+        out: list[tuple[str, int, int] | None] = []
+        for pos in WINDOW_POSITIONS:
+            dx, dy = WINDOW_OFFSETS[pos]
+            wx, wy = ix + dx, iy + dy
+            out.append((pos, wx, wy) if self.in_bounds(wx, wy) else None)
+        return out
+
+    def window_edge_cells(
+        self, ix: int, iy: int, edge: WindowEdge
+    ) -> tuple[tuple[int, int] | None, tuple[int, int] | None]:
+        """Absolute grid indices of the two cells an edge separates.
+
+        Either side may be ``None`` when outside the die (padded edges carry
+        zero capacity and zero load).
+        """
+        ax, ay = ix + edge.cell_a[0], iy + edge.cell_a[1]
+        bx, by = ix + edge.cell_b[0], iy + edge.cell_b[1]
+        a = (ax, ay) if self.in_bounds(ax, ay) else None
+        b = (bx, by) if self.in_bounds(bx, by) else None
+        return a, b

@@ -1,0 +1,88 @@
+"""From-scratch ML substrate: estimators, metrics, selection, SHAP."""
+
+from .binning import BinMapper
+from .boosting import RUSBoostClassifier
+from .complexity import (
+    ComplexityReport,
+    complexity_of,
+    forest_complexity,
+    mlp_complexity,
+    rusboost_complexity,
+    svm_complexity,
+)
+from .forest import RandomForestClassifier
+from .metrics import (
+    EvaluationResult,
+    OperatingPoint,
+    auc_roc,
+    average_precision,
+    confusion_at_threshold,
+    evaluate_scores,
+    operating_point_at_fpr,
+    pr_curve,
+    roc_curve,
+)
+from .model_selection import (
+    GridSearchResult,
+    GroupKFold,
+    grid_search,
+    iterate_grid,
+    positive_scores,
+)
+from .nn import MLPClassifier
+from .persistence import (
+    ModelFormatError,
+    load_forest,
+    load_mlp,
+    load_scaler,
+    load_svm,
+    save_forest,
+    save_mlp,
+    save_scaler,
+    save_svm,
+)
+from .scaling import MinMaxScaler, StandardScaler
+from .svm import SVMClassifier, rbf_kernel
+from .tree import DecisionTreeClassifier, TreeArrays
+
+__all__ = [
+    "BinMapper",
+    "RUSBoostClassifier",
+    "ComplexityReport",
+    "complexity_of",
+    "forest_complexity",
+    "mlp_complexity",
+    "rusboost_complexity",
+    "svm_complexity",
+    "RandomForestClassifier",
+    "EvaluationResult",
+    "OperatingPoint",
+    "auc_roc",
+    "average_precision",
+    "confusion_at_threshold",
+    "evaluate_scores",
+    "operating_point_at_fpr",
+    "pr_curve",
+    "roc_curve",
+    "GridSearchResult",
+    "GroupKFold",
+    "grid_search",
+    "iterate_grid",
+    "positive_scores",
+    "ModelFormatError",
+    "load_forest",
+    "load_mlp",
+    "load_scaler",
+    "load_svm",
+    "save_forest",
+    "save_mlp",
+    "save_scaler",
+    "save_svm",
+    "MLPClassifier",
+    "MinMaxScaler",
+    "StandardScaler",
+    "SVMClassifier",
+    "rbf_kernel",
+    "DecisionTreeClassifier",
+    "TreeArrays",
+]

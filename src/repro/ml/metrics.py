@@ -1,0 +1,189 @@
+"""Evaluation metrics for imbalanced binary classification.
+
+Implements the paper's Sec. III-B metric suite from scratch:
+
+* ROC curve and the area under it (``A_roc``),
+* precision-recall curve and the area under it (``A_prc``), computed the
+  same way scikit-learn's *average precision* does — a right-sided
+  step-function integral, which avoids the optimistic linear interpolation
+  the P-R curve is known for (Davis & Goadrich 2006, the paper's [15]);
+* ``TPR*`` / ``Prec*``: recall and precision at the operating threshold
+  where the false-positive rate first reaches a target (0.5 % in the
+  paper).
+
+All functions take raw scores (higher = more likely positive); thresholds
+never need to be materialised by callers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true).astype(np.int8).ravel()
+    scores = np.asarray(scores, dtype=np.float64).ravel()
+    if y_true.shape != scores.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {scores.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty input")
+    if not np.isin(y_true, (0, 1)).all():
+        raise ValueError("labels must be binary 0/1")
+    return y_true, scores
+
+
+def _sorted_cumulative(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """TP and FP counts at every distinct threshold, descending score.
+
+    Returns (thresholds, tp, fp): predicting positive for score >=
+    thresholds[i] yields tp[i] true and fp[i] false positives.
+    """
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_true = y_true[order]
+    tp_cum = np.cumsum(sorted_true)
+    fp_cum = np.cumsum(1 - sorted_true)
+    # keep only the last index of every tied-score run
+    distinct = np.flatnonzero(np.diff(sorted_scores, append=np.nan))
+    return sorted_scores[distinct], tp_cum[distinct], fp_cum[distinct]
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) with the (0,0) origin prepended."""
+    y_true, scores = _validate(y_true, scores)
+    pos = y_true.sum()
+    neg = y_true.size - pos
+    if pos == 0 or neg == 0:
+        raise ValueError("ROC undefined: need both classes")
+    thresholds, tp, fp = _sorted_cumulative(y_true, scores)
+    fpr = np.concatenate([[0.0], fp / neg])
+    tpr = np.concatenate([[0.0], tp / pos])
+    thresholds = np.concatenate([[np.inf], thresholds])
+    return fpr, tpr, thresholds
+
+
+def auc_roc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal — the curve is piecewise linear)."""
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def pr_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(precision, recall, thresholds), recall ascending."""
+    y_true, scores = _validate(y_true, scores)
+    pos = y_true.sum()
+    if pos == 0:
+        raise ValueError("P-R undefined: no positive samples")
+    thresholds, tp, fp = _sorted_cumulative(y_true, scores)
+    precision = tp / np.maximum(tp + fp, 1)
+    recall = tp / pos
+    return precision, recall, thresholds
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the P-R curve as a step integral (A_prc of the paper).
+
+    ``AP = Σ (R_i − R_{i−1}) · P_i`` over distinct thresholds — no linear
+    interpolation between P-R points.
+    """
+    precision, recall, _ = pr_curve(y_true, scores)
+    recall_prev = np.concatenate([[0.0], recall[:-1]])
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+@dataclass(frozen=True, slots=True)
+class OperatingPoint:
+    """Metrics at one classification threshold."""
+
+    threshold: float
+    tpr: float  # recall
+    fpr: float
+    precision: float
+    tp: int
+    fp: int
+    fn: int
+    tn: int
+
+
+def operating_point_at_fpr(
+    y_true: np.ndarray, scores: np.ndarray, target_fpr: float = 0.005
+) -> OperatingPoint:
+    """The paper's TPR*/Prec* operating point.
+
+    Chooses the *lowest* threshold whose FPR is still ≤ ``target_fpr`` (i.e.
+    the most recall available without exceeding the false-alarm budget).
+    If even the strictest threshold exceeds the budget, that strictest
+    threshold is returned.
+    """
+    y_true, scores = _validate(y_true, scores)
+    pos = int(y_true.sum())
+    neg = int(y_true.size - pos)
+    if pos == 0 or neg == 0:
+        raise ValueError("operating point undefined: need both classes")
+    thresholds, tp, fp = _sorted_cumulative(y_true, scores)
+    fpr = fp / neg
+    ok = np.flatnonzero(fpr <= target_fpr)
+    idx = int(ok[-1]) if ok.size else 0
+    tp_i, fp_i = int(tp[idx]), int(fp[idx])
+    return OperatingPoint(
+        threshold=float(thresholds[idx]),
+        tpr=tp_i / pos,
+        fpr=fp_i / neg,
+        precision=tp_i / max(tp_i + fp_i, 1),
+        tp=tp_i,
+        fp=fp_i,
+        fn=pos - tp_i,
+        tn=neg - fp_i,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class EvaluationResult:
+    """The paper's per-design metric triple (Table II row entries)."""
+
+    tpr_star: float
+    prec_star: float
+    a_prc: float
+    a_roc: float
+    num_samples: int
+    num_positives: int
+
+    def format_row(self) -> str:
+        return f"{self.tpr_star:.4f} {self.prec_star:.4f} {self.a_prc:.4f}"
+
+
+def evaluate_scores(
+    y_true: np.ndarray, scores: np.ndarray, target_fpr: float = 0.005
+) -> EvaluationResult:
+    """Compute TPR*, Prec*, A_prc (and A_roc) in one call."""
+    y_true, scores = _validate(y_true, scores)
+    op = operating_point_at_fpr(y_true, scores, target_fpr)
+    return EvaluationResult(
+        tpr_star=op.tpr,
+        prec_star=op.precision,
+        a_prc=average_precision(y_true, scores),
+        a_roc=auc_roc(y_true, scores),
+        num_samples=int(y_true.size),
+        num_positives=int(y_true.sum()),
+    )
+
+
+def confusion_at_threshold(
+    y_true: np.ndarray, scores: np.ndarray, threshold: float
+) -> tuple[int, int, int, int]:
+    """(tp, fp, fn, tn) when predicting positive for score >= threshold."""
+    y_true, scores = _validate(y_true, scores)
+    pred = scores >= threshold
+    tp = int(np.sum(pred & (y_true == 1)))
+    fp = int(np.sum(pred & (y_true == 0)))
+    fn = int(np.sum(~pred & (y_true == 1)))
+    tn = int(np.sum(~pred & (y_true == 0)))
+    return tp, fp, fn, tn

@@ -1,0 +1,197 @@
+"""Model persistence: save/load trained estimators as ``.npz`` archives.
+
+Trained models are flow artefacts worth keeping (train once on the suite,
+explain hotspots of new designs later).  Pickle would work but breaks on
+refactors; the estimators here serialise to plain numpy archives with a
+small JSON header instead, so saved models survive code changes that keep
+the array layout.
+
+Supported: :class:`~repro.ml.forest.RandomForestClassifier` (tree arrays),
+:class:`~repro.ml.svm.SVMClassifier` (support vectors + dual coefficients),
+:class:`~repro.ml.nn.MLPClassifier` (weight matrices) and
+:class:`~repro.ml.scaling.StandardScaler`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .forest import RandomForestClassifier
+from .nn import MLPClassifier
+from .scaling import StandardScaler
+from .svm import SVMClassifier
+from .tree import DecisionTreeClassifier, TreeArrays
+
+FORMAT_VERSION = 1
+
+
+class ModelFormatError(ValueError):
+    """Raised when a model archive is malformed or of an unknown kind."""
+
+
+# ------------------------------------------------------------------ random forest
+
+
+def save_forest(model: RandomForestClassifier, path: str | Path) -> Path:
+    """Serialise a fitted forest to ``.npz``."""
+    if not model.estimators_:
+        raise ValueError("forest not fitted")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload: dict[str, np.ndarray] = {}
+    header = {
+        "kind": "random_forest",
+        "version": FORMAT_VERSION,
+        "n_trees": len(model.estimators_),
+        "base_rate": model.base_rate_,
+    }
+    payload["header"] = np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    for i, tree in enumerate(model.trees):
+        payload[f"t{i}_children_left"] = tree.children_left
+        payload[f"t{i}_children_right"] = tree.children_right
+        payload[f"t{i}_feature"] = tree.feature
+        payload[f"t{i}_threshold"] = tree.threshold
+        payload[f"t{i}_cover"] = tree.cover
+        payload[f"t{i}_value"] = tree.value
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_forest(path: str | Path) -> RandomForestClassifier:
+    """Load a forest saved by :func:`save_forest`.
+
+    The returned object predicts and explains; training-only attributes
+    (binner, RNG) are not restored.
+    """
+    with np.load(path) as data:
+        header = _read_header(data, expected_kind="random_forest")
+        model = RandomForestClassifier(n_estimators=header["n_trees"])
+        model.base_rate_ = header["base_rate"]
+        estimators = []
+        for i in range(header["n_trees"]):
+            arrays = TreeArrays(
+                children_left=data[f"t{i}_children_left"],
+                children_right=data[f"t{i}_children_right"],
+                feature=data[f"t{i}_feature"],
+                threshold=data[f"t{i}_threshold"],
+                cover=data[f"t{i}_cover"],
+                value=data[f"t{i}_value"],
+            )
+            est = DecisionTreeClassifier()
+            est.tree_ = arrays
+            estimators.append(est)
+        model.estimators_ = estimators
+    return model
+
+
+# ------------------------------------------------------------------------- svm
+
+
+def save_svm(model: SVMClassifier, path: str | Path) -> Path:
+    if model.support_vectors_ is None or model.dual_coef_ is None:
+        raise ValueError("SVM not fitted")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "kind": "svm_rbf",
+        "version": FORMAT_VERSION,
+        "gamma": model.gamma_,
+        "intercept": model.intercept_,
+    }
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        support_vectors=model.support_vectors_,
+        dual_coef=model.dual_coef_,
+    )
+    return path
+
+
+def load_svm(path: str | Path) -> SVMClassifier:
+    with np.load(path) as data:
+        header = _read_header(data, expected_kind="svm_rbf")
+        model = SVMClassifier()
+        model.gamma_ = header["gamma"]
+        model.intercept_ = header["intercept"]
+        model.support_vectors_ = data["support_vectors"]
+        model.dual_coef_ = data["dual_coef"]
+    return model
+
+
+# ------------------------------------------------------------------------- mlp
+
+
+def save_mlp(model: MLPClassifier, path: str | Path) -> Path:
+    if not model.weights_:
+        raise ValueError("MLP not fitted")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "kind": "mlp",
+        "version": FORMAT_VERSION,
+        "n_layers": len(model.weights_),
+        "hidden_layers": list(model.hidden_layers),
+    }
+    payload = {
+        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8)
+    }
+    for i, (W, b) in enumerate(zip(model.weights_, model.biases_)):
+        payload[f"W{i}"] = W
+        payload[f"b{i}"] = b
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_mlp(path: str | Path) -> MLPClassifier:
+    with np.load(path) as data:
+        header = _read_header(data, expected_kind="mlp")
+        model = MLPClassifier(hidden_layers=tuple(header["hidden_layers"]))
+        model.weights_ = [data[f"W{i}"] for i in range(header["n_layers"])]
+        model.biases_ = [data[f"b{i}"] for i in range(header["n_layers"])]
+    return model
+
+
+# ----------------------------------------------------------------------- scaler
+
+
+def save_scaler(scaler: StandardScaler, path: str | Path) -> Path:
+    if scaler.mean_ is None or scaler.scale_ is None:
+        raise ValueError("scaler not fitted")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {"kind": "standard_scaler", "version": FORMAT_VERSION}
+    np.savez_compressed(
+        path,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        mean=scaler.mean_,
+        scale=scaler.scale_,
+    )
+    return path
+
+
+def load_scaler(path: str | Path) -> StandardScaler:
+    with np.load(path) as data:
+        _read_header(data, expected_kind="standard_scaler")
+        scaler = StandardScaler()
+        scaler.mean_ = data["mean"]
+        scaler.scale_ = data["scale"]
+    return scaler
+
+
+# --------------------------------------------------------------------- internals
+
+
+def _read_header(data, expected_kind: str) -> dict:
+    if "header" not in data:
+        raise ModelFormatError("not a repro model archive (missing header)")
+    header = json.loads(bytes(data["header"]).decode())
+    if header.get("kind") != expected_kind:
+        raise ModelFormatError(
+            f"archive holds {header.get('kind')!r}, expected {expected_kind!r}"
+        )
+    if header.get("version") != FORMAT_VERSION:
+        raise ModelFormatError(f"unsupported model format {header.get('version')}")
+    return header

@@ -1,0 +1,34 @@
+"""SHAP explainers: polynomial-time Tree SHAP, brute-force, Kernel SHAP."""
+
+from .brute import brute_force_shap, brute_force_shap_single_tree, conditional_expectation
+from .interactions import (
+    interaction_values,
+    interaction_values_single_tree,
+    top_interactions,
+)
+from .kernel import KernelShapExplainer
+from .plots import (
+    Explanation,
+    FeatureContribution,
+    build_explanation,
+    force_plot_text,
+)
+from .saabas import SaabasExplainer, make_inconsistency_example
+from .tree_explainer import TreeShapExplainer
+
+__all__ = [
+    "SaabasExplainer",
+    "make_inconsistency_example",
+    "brute_force_shap",
+    "brute_force_shap_single_tree",
+    "conditional_expectation",
+    "interaction_values",
+    "interaction_values_single_tree",
+    "top_interactions",
+    "KernelShapExplainer",
+    "Explanation",
+    "FeatureContribution",
+    "build_explanation",
+    "force_plot_text",
+    "TreeShapExplainer",
+]

@@ -1,0 +1,116 @@
+"""Kernel SHAP (Lundberg & Lee 2017) — the model-agnostic baseline.
+
+The paper motivates the *tree* explainer by noting that the original SHAP
+implementations "assume feature independence and approximate by sampling,
+which compromise the accuracy" and are slow.  This module implements that
+baseline so the repository can quantify both claims (see
+``benchmarks/test_fig4_shap.py``):
+
+* the value function is **interventional**: features outside the coalition
+  are imputed from a background dataset (feature-independence assumption);
+* the Shapley values are recovered by the weighted-least-squares
+  formulation over coalitions with the Shapley kernel; with
+  ``n_coalitions=None`` all 2^M coalitions are enumerated (exact under the
+  interventional value function), otherwise coalitions are sampled.
+
+Note the *definition* differs from the path-dependent tree explainer, so
+small systematic differences on correlated features are expected — that is
+precisely the paper's argument for using the tree explainer.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from math import comb
+
+import numpy as np
+
+
+class KernelShapExplainer:
+    """Model-agnostic SHAP with a background dataset."""
+
+    def __init__(
+        self,
+        predict: "callable[[np.ndarray], np.ndarray]",
+        background: np.ndarray,
+        n_coalitions: int | None = None,
+        random_state: int | None = None,
+    ):
+        self.predict = predict
+        self.background = np.atleast_2d(np.asarray(background, dtype=np.float64))
+        self.n_coalitions = n_coalitions
+        self.rng = np.random.default_rng(random_state)
+        #: base value: mean prediction over the background set
+        self.expected_value = float(np.mean(self.predict(self.background)))
+
+    # -- internals -----------------------------------------------------------------
+
+    def _value(self, x: np.ndarray, mask: np.ndarray) -> float:
+        """Interventional v(S): background rows with S features set to x."""
+        imputed = self.background.copy()
+        imputed[:, mask] = x[mask]
+        return float(np.mean(self.predict(imputed)))
+
+    def _all_masks(self, M: int) -> list[np.ndarray]:
+        masks = []
+        for size in range(1, M):
+            for S in combinations(range(M), size):
+                mask = np.zeros(M, dtype=bool)
+                mask[list(S)] = True
+                masks.append(mask)
+        return masks
+
+    def _sampled_masks(self, M: int, n: int) -> list[np.ndarray]:
+        masks = []
+        # sample coalition sizes proportionally to the Shapley kernel mass
+        sizes = np.arange(1, M)
+        kernel_mass = (M - 1) / (sizes * (M - sizes))
+        p = kernel_mass / kernel_mass.sum()
+        for _ in range(n):
+            size = int(self.rng.choice(sizes, p=p))
+            members = self.rng.choice(M, size=size, replace=False)
+            mask = np.zeros(M, dtype=bool)
+            mask[members] = True
+            masks.append(mask)
+        return masks
+
+    # -- API --------------------------------------------------------------------------
+
+    def shap_values_single(self, x: np.ndarray) -> np.ndarray:
+        """SHAP values for one sample by weighted least squares."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        M = len(x)
+        if M < 2:
+            raise ValueError("need at least two features")
+        masks = (
+            self._all_masks(M)
+            if self.n_coalitions is None
+            else self._sampled_masks(M, self.n_coalitions)
+        )
+        fx = float(np.mean(self.predict(x[None, :])))
+        f0 = self.expected_value
+
+        Z = np.array([m.astype(float) for m in masks])
+        v = np.array([self._value(x, m) for m in masks])
+        sizes = Z.sum(axis=1).astype(int)
+        weights = np.array(
+            [
+                (M - 1) / (comb(M, s) * s * (M - s)) if 0 < s < M else 0.0
+                for s in sizes
+            ]
+        )
+
+        # solve the constrained WLS: sum(phi) = fx - f0; eliminate the last
+        # coefficient with the efficiency constraint
+        target = v - f0 - Z[:, -1] * (fx - f0)
+        A = Z[:, :-1] - Z[:, [-1]]
+        W = np.diag(weights)
+        lhs = A.T @ W @ A + 1e-12 * np.eye(M - 1)
+        rhs = A.T @ W @ target
+        phi_head = np.linalg.solve(lhs, rhs)
+        phi_last = (fx - f0) - phi_head.sum()
+        return np.concatenate([phi_head, [phi_last]])
+
+    def shap_values(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.vstack([self.shap_values_single(x) for x in X])

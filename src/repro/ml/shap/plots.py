@@ -1,0 +1,101 @@
+"""Text rendering of SHAP explanations — the stand-in for Fig. 4.
+
+The paper's Fig. 4 is a `shap` force plot: pink bars push the prediction up
+from the base value, blue bars push it down, features sorted by |SHAP|.
+We render the same content as fixed-width text: a waterfall from
+``base value`` to ``f(x)`` with one bar line per top feature, e.g.::
+
+    base value                                        0.0160
+      edM5_7H = -4.00      +0.0513  ████████████████
+      edM5_9V = -2.00      +0.0389  ████████████
+      vlV2_E  = 35.00      +0.0201  ██████
+      ... 381 more features         +0.4039
+    f(x)                                              0.5602
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class FeatureContribution:
+    """One row of an explanation: a feature, its value, its SHAP value."""
+
+    name: str
+    value: float
+    shap: float
+
+
+@dataclass
+class Explanation:
+    """A full per-sample SHAP explanation."""
+
+    base_value: float
+    prediction: float
+    contributions: list[FeatureContribution]
+
+    def top(self, k: int = 10) -> list[FeatureContribution]:
+        """The k features with the largest |SHAP|, descending."""
+        return sorted(self.contributions, key=lambda c: -abs(c.shap))[:k]
+
+    def check_local_accuracy(self, atol: float = 1e-6) -> bool:
+        """Eq. 1 of the paper: base + Σ SHAP == prediction."""
+        total = self.base_value + sum(c.shap for c in self.contributions)
+        return abs(total - self.prediction) <= atol
+
+
+def build_explanation(
+    base_value: float,
+    prediction: float,
+    shap_values: np.ndarray,
+    feature_values: np.ndarray,
+    feature_names: tuple[str, ...] | list[str],
+) -> Explanation:
+    """Bundle raw SHAP output into an :class:`Explanation`."""
+    shap_values = np.asarray(shap_values).ravel()
+    feature_values = np.asarray(feature_values).ravel()
+    if not (len(shap_values) == len(feature_values) == len(feature_names)):
+        raise ValueError("length mismatch between SHAP values, values and names")
+    contributions = [
+        FeatureContribution(name=n, value=float(v), shap=float(s))
+        for n, v, s in zip(feature_names, feature_values, shap_values)
+    ]
+    return Explanation(
+        base_value=float(base_value),
+        prediction=float(prediction),
+        contributions=contributions,
+    )
+
+
+def force_plot_text(
+    explanation: Explanation, top_k: int = 10, bar_width: int = 24
+) -> str:
+    """Fig.-4-style text force plot."""
+    top = explanation.top(top_k)
+    rest = sum(c.shap for c in explanation.contributions) - sum(c.shap for c in top)
+    max_abs = max((abs(c.shap) for c in top), default=1.0) or 1.0
+
+    lines = [f"{'base value E[f(x)]':<34s}{explanation.base_value:>10.4f}"]
+    for c in top:
+        bar_len = max(1, round(abs(c.shap) / max_abs * bar_width))
+        bar = ("+" if c.shap >= 0 else "-") * bar_len
+        lines.append(
+            f"  {c.name:<14s}={c.value:>9.2f}  {c.shap:>+8.4f}  {bar}"
+        )
+    n_rest = len(explanation.contributions) - len(top)
+    lines.append(f"  {f'({n_rest} other features)':<25s}{rest:>+8.4f}")
+    lines.append(f"{'f(x) prediction':<34s}{explanation.prediction:>10.4f}")
+    ratio = (
+        explanation.prediction / explanation.base_value
+        if explanation.base_value > 0
+        else float("inf")
+    )
+    lines.append(
+        f"-> {ratio:.1f}x more likely to be a DRC hotspot than the average g-cell"
+        if ratio >= 1
+        else f"-> {1/ratio:.1f}x less likely to be a DRC hotspot than the average g-cell"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Saabas attribution — the fast-but-inconsistent pre-SHAP baseline.
+
+Before Tree SHAP, per-sample tree attributions were commonly computed with
+Saabas' method: walk the sample's root-to-leaf path and credit each split's
+feature with the change in node expectation,
+
+    phi_j  =  Σ over path splits on j of  ( E[f | child] − E[f | node] ).
+
+It runs in O(depth) — but it is **inconsistent**: it credits only features
+on the taken path and weights splits near the leaves more heavily, so a
+feature whose true marginal impact grows can see its attribution *drop*
+(Lundberg, Erion & Lee 2018, the paper's [9], use exactly this failure to
+motivate Tree SHAP).  We implement it to quantify that argument — see
+``benchmarks/test_explainer_consistency.py``.
+
+Local accuracy *is* satisfied (the telescoping sum reaches the leaf), so
+the difference against Tree SHAP is purely in the per-feature split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tree import LEAF, TreeArrays
+
+
+def saabas_values_single_tree(
+    tree: TreeArrays, x: np.ndarray, num_features: int
+) -> np.ndarray:
+    """Saabas attributions of one tree for one sample."""
+    x = np.asarray(x, dtype=np.float64).ravel()
+    phi = np.zeros(num_features)
+    node = 0
+    while tree.children_left[node] != LEAF:
+        feat = int(tree.feature[node])
+        nxt = (
+            int(tree.children_left[node])
+            if x[feat] < tree.threshold[node]
+            else int(tree.children_right[node])
+        )
+        phi[feat] += tree.value[nxt] - tree.value[node]
+        node = nxt
+    return phi
+
+
+class SaabasExplainer:
+    """Saabas attribution for a tree-mean ensemble (API mirrors TreeShap)."""
+
+    def __init__(self, trees: list[TreeArrays], num_features: int):
+        if not trees:
+            raise ValueError("need at least one tree")
+        self.trees = trees
+        self.num_features = num_features
+        self.expected_value = float(np.mean([t.value[0] for t in trees]))
+
+    def shap_values_single(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape != (self.num_features,):
+            raise ValueError(f"expected {self.num_features} features")
+        phi = np.zeros(self.num_features)
+        for t in self.trees:
+            phi += saabas_values_single_tree(t, x, self.num_features)
+        return phi / len(self.trees)
+
+    def shap_values(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.vstack([self.shap_values_single(x) for x in X])
+
+
+def make_inconsistency_example() -> tuple[TreeArrays, TreeArrays, np.ndarray]:
+    """Two AND-trees exhibiting the classic Saabas inconsistency.
+
+    Following Fig. 1 of Lundberg et al. 2018 (the paper's [9]):
+
+    * tree A computes ``f_A = 5·AND(x0, x1)``, splitting **x1 at the root**
+      and x0 at the deep split;
+    * tree B computes ``f_B = f_A + 2·x0`` — strictly *more* dependent on
+      x0 — but splits **x0 at the root** and x1 deep.
+
+    For the all-ones sample, exact SHAP increases x0's attribution from A
+    (1.875) to B (2.875) — consistent with the increased dependence — while
+    Saabas *decreases* it (2.5 → 2.25), because it credits root splits with
+    the small near-root change in expectation.
+
+    Returns (tree_a, tree_b, x).  Cover is balanced so the four input
+    combinations are equally likely.
+    """
+
+    def _tree(
+        split_first: int,
+        split_second: int,
+        leaves: tuple[float, float, float],
+        root_val: float,
+    ) -> TreeArrays:
+        # node 0 splits on split_first; its 0-branch is leaf node 1 with
+        # value leaves[0]; its 1-branch (node 2) splits on split_second
+        # into leaves[1] (0-branch) and leaves[2] (1-branch).
+        children_left = np.array([1, LEAF, 3, LEAF, LEAF], dtype=np.int32)
+        children_right = np.array([2, LEAF, 4, LEAF, LEAF], dtype=np.int32)
+        feature = np.array(
+            [split_first, LEAF, split_second, LEAF, LEAF], dtype=np.int32
+        )
+        threshold = np.array([0.5, np.nan, 0.5, np.nan, np.nan])
+        cover = np.array([4.0, 2.0, 2.0, 1.0, 1.0])
+        value = np.array(
+            [root_val, leaves[0], (leaves[1] + leaves[2]) / 2.0, leaves[1], leaves[2]]
+        )
+        return TreeArrays(
+            children_left, children_right, feature, threshold, cover, value
+        )
+
+    # A: f = 5·AND(x0, x1), x1 at the root, x0 deep
+    tree_a = _tree(1, 0, (0.0, 0.0, 5.0), root_val=1.25)
+    # B: f = 5·AND(x0, x1) + 2·x0, x0 at the root, x1 deep;
+    # x0=0 branch is identically 0; x0=1 branch is 2 + 5·x1
+    tree_b = _tree(0, 1, (0.0, 2.0, 7.0), root_val=2.25)
+    x = np.array([1.0, 1.0])
+    return tree_a, tree_b, x

@@ -1,0 +1,201 @@
+"""Path-dependent Tree SHAP (Lundberg, Erion & Lee 2018) from scratch.
+
+Computes exact SHAP values (Eq. 2 of the paper) for decision-tree ensembles
+in polynomial time, using the conditional expectation defined by the trees
+themselves: descending a tree, a feature *in* the coalition follows the
+sample's branch, a feature *outside* splits the flow between both children
+proportionally to their training cover — the "path-dependent" value
+function of the SHAP tree explainer the paper adopts.
+
+Formulation.  Algorithm 2 of Lundberg et al. maintains, along each
+root-to-leaf path, a polynomial of coalition-size weights (EXTEND) and
+reads off each feature's Shapley weight by removing it (UNWIND).  We use
+the equivalent *per-leaf closed form*: for leaf ``l`` with unique path
+features ``U_l`` (duplicate features merged: zero-fractions multiply,
+one-fractions AND),
+
+    phi_u  +=  v_l · (o_u − z_u) · W(l, u),
+
+where ``z_u`` is the product of cover ratios of u's path segments, ``o_u``
+indicates whether x satisfies them all, and ``W(l, u)`` is the Shapley
+kernel sum the EXTEND/UNWIND polynomial evaluates.  Grouping leaves by
+unique-path length lets every EXTEND/UNWIND step run vectorised across all
+leaves of a tree — numpy-speed SHAP with no compiled code.
+
+Properties guaranteed (and property-tested): **local accuracy**
+``Σ_u phi_u = f(x) − E[f]`` to float precision, and exact agreement with
+the brute-force Shapley computation on small trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..tree import LEAF, TreeArrays
+
+
+@dataclass
+class _LeafGroup:
+    """All leaves of one tree with the same unique-path length D."""
+
+    depth: int  # D: number of unique features per leaf path
+    leaf_value: np.ndarray  # (L,)
+    z: np.ndarray  # (L, D) zero fractions (cover-ratio products)
+    slot_feature: np.ndarray  # (L, D) global feature index per slot
+    # flattened segment arrays, for evaluating one-fractions o(x):
+    seg_row: np.ndarray  # (S,) leaf row within the group
+    seg_slot: np.ndarray  # (S,) slot within the path
+    seg_feature: np.ndarray  # (S,) global feature id
+    seg_threshold: np.ndarray  # (S,)
+    seg_is_left: np.ndarray  # (S,) bool: the path takes the left branch
+
+
+def _collect_leaf_paths(
+    tree: TreeArrays,
+) -> list[tuple[float, list[tuple[int, float, bool, float]]]]:
+    """DFS to (leaf value, path segments); segment = (feat, thr, left, ratio)."""
+    out: list[tuple[float, list[tuple[int, float, bool, float]]]] = []
+    stack: list[tuple[int, list[tuple[int, float, bool, float]]]] = [(0, [])]
+    while stack:
+        node, segs = stack.pop()
+        left = tree.children_left[node]
+        if left == LEAF:
+            out.append((float(tree.value[node]), segs))
+            continue
+        right = tree.children_right[node]
+        feat = int(tree.feature[node])
+        thr = float(tree.threshold[node])
+        cover = tree.cover[node]
+        r_left = tree.cover[left] / cover if cover > 0 else 0.0
+        r_right = tree.cover[right] / cover if cover > 0 else 0.0
+        stack.append((int(left), segs + [(feat, thr, True, r_left)]))
+        stack.append((int(right), segs + [(feat, thr, False, r_right)]))
+    return out
+
+
+def _build_groups(tree: TreeArrays) -> list[_LeafGroup]:
+    """Preprocess a tree into depth-grouped leaf path tables."""
+    by_depth: dict[int, list[tuple[float, list, dict]]] = {}
+    for value, segs in _collect_leaf_paths(tree):
+        # merge duplicate features: z multiplies, segments accumulate
+        slots: dict[int, dict] = {}
+        for feat, thr, is_left, ratio in segs:
+            entry = slots.setdefault(feat, {"z": 1.0, "segs": []})
+            entry["z"] *= ratio
+            entry["segs"].append((thr, is_left))
+        by_depth.setdefault(len(slots), []).append((value, segs, slots))
+
+    groups: list[_LeafGroup] = []
+    for depth, leaves in sorted(by_depth.items()):
+        if depth == 0:
+            continue  # a leaf with no splits contributes only to the base
+        n = len(leaves)
+        z = np.zeros((n, depth))
+        slot_feature = np.zeros((n, depth), dtype=np.int64)
+        leaf_value = np.zeros(n)
+        seg_row: list[int] = []
+        seg_slot: list[int] = []
+        seg_feature: list[int] = []
+        seg_threshold: list[float] = []
+        seg_is_left: list[bool] = []
+        for row, (value, _, slots) in enumerate(leaves):
+            leaf_value[row] = value
+            for slot, (feat, entry) in enumerate(slots.items()):
+                z[row, slot] = entry["z"]
+                slot_feature[row, slot] = feat
+                for thr, is_left in entry["segs"]:
+                    seg_row.append(row)
+                    seg_slot.append(slot)
+                    seg_feature.append(feat)
+                    seg_threshold.append(thr)
+                    seg_is_left.append(is_left)
+        groups.append(
+            _LeafGroup(
+                depth=depth,
+                leaf_value=leaf_value,
+                z=z,
+                slot_feature=slot_feature,
+                seg_row=np.asarray(seg_row, dtype=np.int64),
+                seg_slot=np.asarray(seg_slot, dtype=np.int64),
+                seg_feature=np.asarray(seg_feature, dtype=np.int64),
+                seg_threshold=np.asarray(seg_threshold),
+                seg_is_left=np.asarray(seg_is_left, dtype=bool),
+            )
+        )
+    return groups
+
+
+def _group_phi(group: _LeafGroup, x: np.ndarray, phi: np.ndarray) -> None:
+    """Add one leaf-group's SHAP contributions for sample ``x`` into phi."""
+    D = group.depth
+    L = len(group.leaf_value)
+    # one-fractions: AND of segment satisfactions per (leaf, slot)
+    sat = (x[group.seg_feature] < group.seg_threshold) == group.seg_is_left
+    o = np.ones((L, D), dtype=bool)
+    np.logical_and.at(o, (group.seg_row, group.seg_slot), sat)
+    o = o.astype(np.float64)
+    z = group.z
+
+    # EXTEND: coalition-size weight polynomial, vectorised over leaves
+    W = np.zeros((L, D + 1))
+    W[:, 0] = 1.0
+    for t in range(1, D + 1):
+        zt = z[:, t - 1]
+        ot = o[:, t - 1]
+        for i in range(t - 1, -1, -1):
+            W[:, i + 1] += ot * W[:, i] * ((i + 1) / (t + 1))
+            W[:, i] = zt * W[:, i] * ((t - i) / (t + 1))
+
+    # UNWIND each slot and accumulate its contribution
+    for k in range(1, D + 1):
+        one = o[:, k - 1]
+        zero = z[:, k - 1]
+        one_safe = np.where(one != 0.0, one, 1.0)
+        zero_safe = np.where(zero != 0.0, zero, 1.0)
+        next_one = W[:, D].copy()
+        total = np.zeros(L)
+        for i in range(D - 1, -1, -1):
+            tmp = next_one * ((D + 1) / ((i + 1) * one_safe))
+            branch_one = tmp
+            next_one = np.where(
+                one != 0.0, W[:, i] - tmp * zero * ((D - i) / (D + 1)), next_one
+            )
+            branch_zero = W[:, i] / (zero_safe * ((D - i) / (D + 1)))
+            total += np.where(one != 0.0, branch_one, branch_zero)
+        contrib = total * (one - zero) * group.leaf_value
+        np.add.at(phi, group.slot_feature[:, k - 1], contrib)
+
+
+class TreeShapExplainer:
+    """SHAP tree explainer for one tree or an averaged ensemble.
+
+    ``trees`` is a list of :class:`~repro.ml.tree.TreeArrays`; the model is
+    assumed to predict the *mean* of the trees' outputs (a Random Forest).
+    For a single tree pass a one-element list.
+    """
+
+    def __init__(self, trees: list[TreeArrays], num_features: int):
+        if not trees:
+            raise ValueError("need at least one tree")
+        self.num_features = num_features
+        self._groups_per_tree = [_build_groups(t) for t in trees]
+        #: E[f(x)] over the training distribution (paper Eq. 1 base value)
+        self.expected_value = float(np.mean([t.value[0] for t in trees]))
+
+    def shap_values_single(self, x: np.ndarray) -> np.ndarray:
+        """SHAP values (num_features,) for one sample."""
+        x = np.asarray(x, dtype=np.float64).ravel()
+        if x.shape != (self.num_features,):
+            raise ValueError(f"expected {self.num_features} features")
+        phi = np.zeros(self.num_features)
+        for groups in self._groups_per_tree:
+            for group in groups:
+                _group_phi(group, x, phi)
+        return phi / len(self._groups_per_tree)
+
+    def shap_values(self, X: np.ndarray) -> np.ndarray:
+        """SHAP values (n, num_features) for a batch of samples."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return np.vstack([self.shap_values_single(x) for x in X])

@@ -1,0 +1,189 @@
+"""The 3-D global-routing grid: per-layer edge capacities and loads.
+
+Global routing abstracts the die as a grid of g-cells.  Wires cross g-cell
+boundaries on metal-layer *tracks*; each boundary edge of each layer has a
+capacity ``C`` (max wires across) and a load ``L`` (wires already across).
+Vias connecting layers consume via sites inside g-cells, counted per via
+layer.  These C/L/(C−L) quantities per layer are exactly the congestion
+features of the paper (Sec. II-A).
+
+Conventions (used consistently by the router, features and plots):
+
+* a **horizontal edge** ``(ix, iy)`` connects g-cells ``(ix, iy)`` and
+  ``(ix+1, iy)`` — it is a *vertical boundary segment* crossed by wires of
+  horizontal layers; arrays have shape ``(nx-1, ny)``;
+* a **vertical edge** ``(ix, iy)`` connects ``(ix, iy)`` and ``(ix, iy+1)``
+  — a *horizontal boundary* crossed by vertical-layer wires; shape
+  ``(nx, ny-1)``;
+* via arrays have shape ``(nx, ny)``.
+
+The router works on the **2-D aggregated** view (capacity summed over the
+layers of each direction) and a later layer-assignment step distributes the
+2-D loads over individual layers; this mirrors standard GR practice and is
+why the grid keeps both representations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..layout.geometry import Rect
+from ..layout.grid import GCellGrid
+from ..layout.netlist import Design
+from ..layout.technology import Technology
+
+#: Soft-blockage cost: routing across a fully blocked edge is strongly
+#: discouraged but kept finite so every net remains routable.
+BLOCKED_EDGE_COST = 1.0e6
+
+
+class RoutingGrid:
+    """Capacity/load bookkeeping for one design's global routing."""
+
+    def __init__(self, design: Design, grid: GCellGrid | None = None):
+        self.design = design
+        self.tech: Technology = design.technology
+        self.grid = grid or GCellGrid.for_design_die(design.die, self.tech)
+        nx, ny = self.grid.nx, self.grid.ny
+
+        #: metal layers available to GR, split by direction
+        self.h_layers = [
+            m for m in self.tech.gr_metal_indices if self.tech.metal(m).is_horizontal
+        ]
+        self.v_layers = [
+            m
+            for m in self.tech.gr_metal_indices
+            if not self.tech.metal(m).is_horizontal
+        ]
+
+        # per-layer capacities and loads
+        self.metal_cap: dict[int, np.ndarray] = {}
+        self.metal_load: dict[int, np.ndarray] = {}
+        for m in range(1, self.tech.num_metal_layers + 1):
+            layer = self.tech.metal(m)
+            shape = (nx - 1, ny) if layer.is_horizontal else (nx, ny - 1)
+            base = self.tech.edge_capacity(m) if m in self.tech.gr_metal_indices else 0
+            self.metal_cap[m] = np.full(shape, base, dtype=np.int32)
+            self.metal_load[m] = np.zeros(shape, dtype=np.float64)
+
+        self.via_cap: dict[int, np.ndarray] = {}
+        self.via_load: dict[int, np.ndarray] = {}
+        for v in range(1, self.tech.num_via_layers + 1):
+            self.via_cap[v] = np.full(
+                (nx, ny), self.tech.via_capacity(v), dtype=np.int32
+            )
+            self.via_load[v] = np.zeros((nx, ny), dtype=np.float64)
+
+        self._apply_blockages()
+
+        # 2-D aggregates over GR layers (what the maze router sees)
+        self.cap2d_h = sum(
+            (self.metal_cap[m] for m in self.h_layers), np.zeros((nx - 1, ny))
+        ).astype(np.float64)
+        self.cap2d_v = sum(
+            (self.metal_cap[m] for m in self.v_layers), np.zeros((nx, ny - 1))
+        ).astype(np.float64)
+        self.load2d_h = np.zeros((nx - 1, ny), dtype=np.float64)
+        self.load2d_v = np.zeros((nx, ny - 1), dtype=np.float64)
+        # negotiated-congestion history costs (grow on persistent overflow)
+        self.hist_h = np.zeros((nx - 1, ny), dtype=np.float64)
+        self.hist_v = np.zeros((nx, ny - 1), dtype=np.float64)
+
+    # -- blockage handling -------------------------------------------------------
+
+    def _edge_blocked_fraction(
+        self, rect: Rect, horizontal_edges: bool
+    ) -> np.ndarray:
+        """Fraction (0/1) of each edge covered by a blockage rectangle.
+
+        An edge is blocked when the boundary segment it represents lies
+        inside the rectangle.  We use the segment midpoint as the test point
+        — adequate because the generator snaps macros to whole g-cells.
+        """
+        g = self.grid
+        if horizontal_edges:
+            mask = np.zeros((g.nx - 1, g.ny), dtype=bool)
+            for ix in range(g.nx - 1):
+                x = g.die.xlo + (ix + 1) * g.size
+                for iy in range(g.ny):
+                    y = g.die.ylo + (iy + 0.5) * g.size
+                    mask[ix, iy] = (
+                        rect.xlo <= x <= rect.xhi and rect.ylo <= y <= rect.yhi
+                    )
+            return mask
+        mask = np.zeros((g.nx, g.ny - 1), dtype=bool)
+        for ix in range(g.nx):
+            x = g.die.xlo + (ix + 0.5) * g.size
+            for iy in range(g.ny - 1):
+                y = g.die.ylo + (iy + 1) * g.size
+                mask[ix, iy] = rect.xlo <= x <= rect.xhi and rect.ylo <= y <= rect.yhi
+        return mask
+
+    def _apply_blockages(self) -> None:
+        """Zero the capacity of edges and vias under routing blockages."""
+        g = self.grid
+        for m in range(1, self.tech.num_metal_layers + 1):
+            layer = self.tech.metal(m)
+            for rect in self.design.routing_blockage_rects(m):
+                mask = self._edge_blocked_fraction(rect, layer.is_horizontal)
+                self.metal_cap[m][mask] = 0
+        # a via layer is blocked where either of its metals is blocked
+        for v in range(1, self.tech.num_via_layers + 1):
+            blocked = np.zeros((g.nx, g.ny), dtype=bool)
+            for m in (v, v + 1):
+                for rect in self.design.routing_blockage_rects(m):
+                    for ix in range(g.nx):
+                        for iy in range(g.ny):
+                            c = g.cell_center(ix, iy)
+                            if rect.contains_point(c):
+                                blocked[ix, iy] = True
+            self.via_cap[v][blocked] = 0
+
+    # -- 2-D load bookkeeping -------------------------------------------------------
+
+    def add_path_load(self, path: list[tuple[int, int]], amount: float) -> None:
+        """Add ``amount`` of 2-D load along a cell path (4-connected)."""
+        for (ax, ay), (bx, by) in zip(path, path[1:]):
+            if ay == by:  # horizontal move
+                self.load2d_h[min(ax, bx), ay] += amount
+            elif ax == bx:  # vertical move
+                self.load2d_v[ax, min(ay, by)] += amount
+            else:
+                raise ValueError("path not 4-connected")
+
+    def remove_path_load(self, path: list[tuple[int, int]], amount: float) -> None:
+        self.add_path_load(path, -amount)
+
+    # -- congestion views ---------------------------------------------------------------
+
+    def overflow2d(self) -> float:
+        """Total 2-D overflow (load above capacity), the GR quality metric."""
+        over_h = np.maximum(self.load2d_h - self.cap2d_h, 0.0).sum()
+        over_v = np.maximum(self.load2d_v - self.cap2d_v, 0.0).sum()
+        return float(over_h + over_v)
+
+    def edge_cost_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-edge traversal costs for the pattern and maze routers.
+
+        Cost = 1 (wirelength) + quadratic congestion penalty near/above
+        capacity + accumulated history cost; fully blocked edges get
+        :data:`BLOCKED_EDGE_COST`.
+        """
+
+        def cost(load: np.ndarray, cap: np.ndarray, hist: np.ndarray) -> np.ndarray:
+            with np.errstate(divide="ignore", invalid="ignore"):
+                util = np.where(cap > 0, load / np.maximum(cap, 1e-9), np.inf)
+            penalty = np.where(util < 0.6, 0.0, 4.0 * (util - 0.6) ** 2 * 10.0)
+            over = np.maximum(load + 1.0 - cap, 0.0)
+            c = 1.0 + penalty + 12.0 * over + hist
+            return np.where(cap > 0, c, BLOCKED_EDGE_COST)
+
+        return (
+            cost(self.load2d_h, self.cap2d_h, self.hist_h),
+            cost(self.load2d_v, self.cap2d_v, self.hist_v),
+        )
+
+    def bump_history(self, increment: float = 1.0) -> None:
+        """Raise history cost on currently overflowed edges (PathFinder)."""
+        self.hist_h[self.load2d_h > self.cap2d_h] += increment
+        self.hist_v[self.load2d_v > self.cap2d_v] += increment

@@ -1,0 +1,89 @@
+"""A* maze routing on the 2-D g-cell grid.
+
+Used by the negotiated-congestion loop for segments that stay overflowed
+after pattern routing.  The search runs over g-cells with 4-connected moves;
+the move cost is the current per-edge cost (wirelength + congestion penalty
++ history), and the admissible heuristic is the remaining Manhattan distance
+scaled by the cheapest edge cost in the grid.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+def route_maze(
+    a: tuple[int, int],
+    b: tuple[int, int],
+    cost_h: np.ndarray,
+    cost_v: np.ndarray,
+) -> tuple[list[tuple[int, int]], float]:
+    """Cheapest 4-connected path from ``a`` to ``b``.
+
+    Returns ``(path, cost)``.  All edges have finite (possibly huge) cost,
+    so a path always exists on a connected grid.
+    """
+    nx = cost_v.shape[0]
+    ny = cost_h.shape[1]
+    if not (0 <= a[0] < nx and 0 <= a[1] < ny and 0 <= b[0] < nx and 0 <= b[1] < ny):
+        raise ValueError(f"maze endpoints {a}->{b} outside {nx}x{ny} grid")
+    if a == b:
+        return [a], 0.0
+
+    INF = float("inf")
+    g_cost = np.full((nx, ny), INF)
+    g_cost[a] = 0.0
+    parent: dict[tuple[int, int], tuple[int, int]] = {}
+    # admissible heuristic: remaining Manhattan distance times the cheapest
+    # edge anywhere (production costs are >= 1, but stay correct for any)
+    min_edge = float(min(cost_h.min() if cost_h.size else 0.0,
+                         cost_v.min() if cost_v.size else 0.0))
+    min_edge = max(min_edge, 0.0)
+    # heap entries: (f, g, cell); stale entries skipped via g comparison
+    heap: list[tuple[float, float, tuple[int, int]]] = [
+        (min_edge * (abs(a[0] - b[0]) + abs(a[1] - b[1])), 0.0, a)
+    ]
+
+    while heap:
+        f, g, cell = heapq.heappop(heap)
+        if g > g_cost[cell]:
+            continue
+        if cell == b:
+            break
+        x, y = cell
+        # neighbours: (next cell, edge cost)
+        if x + 1 < nx:
+            _relax(g_cost, parent, heap, b, cell, (x + 1, y), g + cost_h[x, y], min_edge)
+        if x - 1 >= 0:
+            _relax(g_cost, parent, heap, b, cell, (x - 1, y), g + cost_h[x - 1, y], min_edge)
+        if y + 1 < ny:
+            _relax(g_cost, parent, heap, b, cell, (x, y + 1), g + cost_v[x, y], min_edge)
+        if y - 1 >= 0:
+            _relax(g_cost, parent, heap, b, cell, (x, y - 1), g + cost_v[x, y - 1], min_edge)
+
+    if g_cost[b] == INF:
+        raise RuntimeError(f"maze route failed {a} -> {b}")
+    path = [b]
+    while path[-1] != a:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path, float(g_cost[b])
+
+
+def _relax(
+    g_cost: np.ndarray,
+    parent: dict[tuple[int, int], tuple[int, int]],
+    heap: list[tuple[float, float, tuple[int, int]]],
+    target: tuple[int, int],
+    cur: tuple[int, int],
+    nxt: tuple[int, int],
+    new_g: float,
+    min_edge: float,
+) -> None:
+    if new_g < g_cost[nxt]:
+        g_cost[nxt] = new_g
+        parent[nxt] = cur
+        h = min_edge * (abs(nxt[0] - target[0]) + abs(nxt[1] - target[1]))
+        heapq.heappush(heap, (new_g + h, new_g, nxt))

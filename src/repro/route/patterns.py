@@ -1,0 +1,105 @@
+"""Pattern routing: L- and Z-shaped candidate paths for two-pin segments.
+
+Pattern routing realises the vast majority of segments in any global router;
+the expensive maze search is reserved for segments that stay congested.  For
+a segment from ``a`` to ``b`` we enumerate
+
+* the two **L shapes** (horizontal-then-vertical and vertical-then-horizontal),
+* all **Z shapes** with one intermediate jog strictly between the endpoints
+  (both orientations),
+
+score each candidate by the sum of per-edge costs (from
+:meth:`repro.route.graph.RoutingGrid.edge_cost_arrays`), and return the
+cheapest.  Straight segments short-circuit to the single straight path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _h_run_cost(cost_h: np.ndarray, y: int, x1: int, x2: int) -> float:
+    """Cost of the horizontal run from (x1,y) to (x2,y) (inclusive cells)."""
+    if x1 == x2:
+        return 0.0
+    lo, hi = (x1, x2) if x1 < x2 else (x2, x1)
+    return float(cost_h[lo:hi, y].sum())
+
+
+def _v_run_cost(cost_v: np.ndarray, x: int, y1: int, y2: int) -> float:
+    if y1 == y2:
+        return 0.0
+    lo, hi = (y1, y2) if y1 < y2 else (y2, y1)
+    return float(cost_v[x, lo:hi].sum())
+
+
+def _h_cells(y: int, x1: int, x2: int) -> list[tuple[int, int]]:
+    step = 1 if x2 >= x1 else -1
+    return [(x, y) for x in range(x1, x2 + step, step)]
+
+
+def _v_cells(x: int, y1: int, y2: int) -> list[tuple[int, int]]:
+    step = 1 if y2 >= y1 else -1
+    return [(x, y) for y in range(y1, y2 + step, step)]
+
+
+def _join(*runs: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Concatenate cell runs, dropping duplicated junction cells."""
+    path: list[tuple[int, int]] = []
+    for run in runs:
+        if path and run and run[0] == path[-1]:
+            path.extend(run[1:])
+        else:
+            path.extend(run)
+    return path
+
+
+def route_pattern(
+    a: tuple[int, int],
+    b: tuple[int, int],
+    cost_h: np.ndarray,
+    cost_v: np.ndarray,
+) -> tuple[list[tuple[int, int]], float]:
+    """Best L/Z path from ``a`` to ``b``; returns (cell path, cost)."""
+    ax, ay = a
+    bx, by = b
+    if a == b:
+        return [a], 0.0
+    if ay == by:  # straight horizontal
+        return _h_cells(ay, ax, bx), _h_run_cost(cost_h, ay, ax, bx)
+    if ax == bx:  # straight vertical
+        return _v_cells(ax, ay, by), _v_run_cost(cost_v, ax, ay, by)
+
+    candidates: list[tuple[float, list[tuple[int, int]]]] = []
+
+    # L shapes
+    cost_hv = _h_run_cost(cost_h, ay, ax, bx) + _v_run_cost(cost_v, bx, ay, by)
+    candidates.append((cost_hv, _join(_h_cells(ay, ax, bx), _v_cells(bx, ay, by))))
+    cost_vh = _v_run_cost(cost_v, ax, ay, by) + _h_run_cost(cost_h, by, ax, bx)
+    candidates.append((cost_vh, _join(_v_cells(ax, ay, by), _h_cells(by, ax, bx))))
+
+    # Z shapes with a horizontal middle run at an intermediate row
+    ylo, yhi = (ay, by) if ay < by else (by, ay)
+    for ym in range(ylo + 1, yhi):
+        c = (
+            _v_run_cost(cost_v, ax, ay, ym)
+            + _h_run_cost(cost_h, ym, ax, bx)
+            + _v_run_cost(cost_v, bx, ym, by)
+        )
+        candidates.append(
+            (c, _join(_v_cells(ax, ay, ym), _h_cells(ym, ax, bx), _v_cells(bx, ym, by)))
+        )
+    # Z shapes with a vertical middle run at an intermediate column
+    xlo, xhi = (ax, bx) if ax < bx else (bx, ax)
+    for xm in range(xlo + 1, xhi):
+        c = (
+            _h_run_cost(cost_h, ay, ax, xm)
+            + _v_run_cost(cost_v, xm, ay, by)
+            + _h_run_cost(cost_h, by, xm, bx)
+        )
+        candidates.append(
+            (c, _join(_h_cells(ay, ax, xm), _v_cells(xm, ay, by), _h_cells(by, xm, bx)))
+        )
+
+    best_cost, best_path = min(candidates, key=lambda t: t[0])
+    return best_path, best_cost

@@ -1,0 +1,50 @@
+"""Tests for design/artifact serialization."""
+
+import pytest
+
+from repro.bench.generator import DesignRecipe, generate_design
+from repro.bench.io import load_artifact, load_design, save_artifact, save_design
+
+
+class TestDesignIO:
+    def test_roundtrip(self, tmp_path):
+        d = generate_design(DesignRecipe(name="io", grid_nx=8, grid_ny=8, seed=2))
+        path = save_design(d, tmp_path / "d.pkl")
+        back = load_design(path)
+        assert back.name == d.name
+        assert back.num_cells == d.num_cells
+        assert back.num_nets == d.num_nets
+        # pin<->net backrefs survive pickling
+        back.validate()
+
+    def test_placed_design_roundtrip(self, tmp_path):
+        from repro.place import place_design
+
+        d = generate_design(DesignRecipe(name="iop", grid_nx=8, grid_ny=8, seed=3))
+        place_design(d)
+        back = load_design(save_design(d, tmp_path / "p.pkl"))
+        assert back.is_placed
+        assert back.cells[0].position == d.cells[0].position
+
+    def test_artifact_roundtrip(self, tmp_path):
+        payload = {"answer": 42, "values": [1, 2, 3]}
+        path = save_artifact(payload, tmp_path / "a.pkl")
+        assert load_artifact(path) == payload
+
+    def test_bad_file_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "junk.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump([1, 2, 3], fh)
+        with pytest.raises(ValueError):
+            load_design(path)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"version": -1, "design": None}, fh)
+        with pytest.raises(ValueError, match="format"):
+            load_design(path)

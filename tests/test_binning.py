@@ -1,0 +1,67 @@
+"""Tests for the quantile bin mapper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.binning import BinMapper
+
+
+class TestBinMapper:
+    def test_constant_feature_single_bin(self):
+        X = np.full((50, 1), 3.0)
+        m = BinMapper().fit(X)
+        assert m.num_bins(0) == 1
+        assert (m.transform(X) == 0).all()
+
+    def test_few_distinct_values_exact_bins(self):
+        X = np.array([[0.0], [1.0], [1.0], [2.0], [2.0], [2.0]])
+        m = BinMapper().fit(X)
+        assert m.num_bins(0) == 3
+        codes = m.transform(X).ravel()
+        assert list(codes) == [0, 1, 1, 2, 2, 2]
+
+    def test_codes_monotone_in_value(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(500, 1))
+        m = BinMapper().fit(X)
+        codes = m.transform(X).ravel()
+        order = np.argsort(X.ravel())
+        assert (np.diff(codes[order].astype(int)) >= 0).all()
+
+    def test_max_bins_respected(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10_000, 1))
+        m = BinMapper(max_bins=16).fit(X)
+        assert m.num_bins(0) <= 16
+        assert m.transform(X).max() <= 15
+
+    def test_threshold_semantics(self):
+        """code <= c  iff  x < threshold_value(f, c)."""
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(300, 1))
+        m = BinMapper(max_bins=8).fit(X)
+        codes = m.transform(X).ravel()
+        for c in range(m.num_bins(0) - 1):
+            t = m.threshold_value(0, c)
+            assert ((codes <= c) == (X.ravel() < t)).all()
+
+    def test_not_fitted_raises(self):
+        with pytest.raises(RuntimeError):
+            BinMapper().transform(np.zeros((2, 2)))
+
+    def test_bad_max_bins(self):
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=1)
+        with pytest.raises(ValueError):
+            BinMapper(max_bins=500)
+
+    @given(st.integers(0, 10_000), st.integers(2, 64))
+    @settings(max_examples=30)
+    def test_transform_within_bin_count(self, seed, max_bins):
+        rng = np.random.default_rng(seed)
+        X = rng.choice([0.0, 1.0, 2.5, 7.0, 7.5, 100.0], size=(200, 3))
+        m = BinMapper(max_bins=max_bins).fit(X)
+        codes = m.transform(X)
+        for j in range(3):
+            assert codes[:, j].max() < m.num_bins(j)

@@ -1,0 +1,59 @@
+"""Tests for probability calibration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import calibration_report
+
+
+class TestCalibrationReport:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        p = rng.uniform(0, 1, size=20_000)
+        y = (rng.random(20_000) < p).astype(int)
+        report = calibration_report(y, p)
+        assert report.expected_calibration_error < 0.02
+        # Brier of a calibrated forecaster = E[p(1-p)]
+        assert report.brier_score == pytest.approx(np.mean(p * (1 - p)), abs=0.01)
+
+    def test_overconfident_detected(self):
+        rng = np.random.default_rng(1)
+        y = (rng.random(5000) < 0.1).astype(int)
+        p = np.where(y == 1, 0.95, 0.6)  # wildly overconfident
+        report = calibration_report(y, p)
+        assert report.expected_calibration_error > 0.3
+
+    def test_base_rate(self):
+        y = np.array([0, 0, 0, 1])
+        p = np.array([0.1, 0.1, 0.1, 0.9])
+        assert calibration_report(y, p).base_rate == 0.25
+
+    def test_bins_partition_all_samples(self):
+        rng = np.random.default_rng(2)
+        p = rng.uniform(0, 1, 1000)
+        y = rng.integers(0, 2, 1000)
+        report = calibration_report(y, p, n_bins=7)
+        assert sum(b.count for b in report.bins) == 1000
+        assert len(report.bins) == 7
+
+    def test_probability_one_lands_in_last_bin(self):
+        y = np.array([1, 0])
+        p = np.array([1.0, 0.0])
+        report = calibration_report(y, p, n_bins=4)
+        assert report.bins[-1].count == 1
+        assert report.bins[0].count == 1
+
+    def test_format_table(self):
+        y = np.array([0, 1, 0, 1])
+        p = np.array([0.2, 0.8, 0.3, 0.7])
+        text = calibration_report(y, p).format_table()
+        assert "Brier" in text
+        assert "ECE" in text
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.array([0, 1]), np.array([0.5, 1.5]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            calibration_report(np.array([0, 1]), np.array([0.5]))

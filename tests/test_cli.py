@@ -1,0 +1,66 @@
+"""Smoke tests for the drcshap CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_features_listing(self, capsys):
+        assert main(["features"]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 387
+        assert "edM4_4V" in out
+
+    def test_features_verbose(self, capsys):
+        assert main(["features", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "margin" in out
+
+    def test_flow_small(self, capsys):
+        assert main(["flow", "--grid", "8", "--utilization", "0.55", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "violations" in out
+        assert "global_route" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_model_filter(self, tmp_path, capsys, monkeypatch):
+        import repro.core.pipeline as pipeline
+
+        monkeypatch.setattr(
+            pipeline, "default_cache_path", lambda scale=1.0: tmp_path / "c.npz"
+        )
+        # invalid model subset errors out before any heavy work
+        code = main(["table2", "--scale", "0.3", "--models", "Nope", "--no-cache"])
+        assert code == 2
+
+
+class TestCLIHeavyPaths:
+    """End-to-end CLI runs on a tiny (scale 0.3) suite, cached in tmp."""
+
+    @pytest.fixture()
+    def tiny_cache(self, tmp_path, monkeypatch):
+        import repro.cli as cli
+
+        path = tmp_path / "tiny.npz"
+        monkeypatch.setattr(cli, "default_cache_path", lambda scale=1.0: path)
+        return path
+
+    def test_suite_command(self, tiny_cache, capsys):
+        assert main(["suite", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "Group 1" in out
+        assert "des_perf_b" in out
+        assert "Total samples" in out
+
+    def test_report_command(self, tiny_cache, capsys):
+        # build the cache via the suite command, then report a design
+        assert main(["suite", "--scale", "0.3"]) == 0
+        capsys.readouterr()
+        assert main(["report", "des_perf_1", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction report" in out
+        assert "top 10 predicted hotspot" in out

@@ -1,0 +1,123 @@
+"""Tests for the g-cell grid, windows and the 12-edge convention."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.layout.geometry import Point, Rect
+from repro.layout.grid import (
+    GCellGrid,
+    WINDOW_EDGES,
+    WINDOW_OFFSETS,
+    WINDOW_POSITIONS,
+)
+from repro.layout.technology import make_ispd2015_like_technology
+
+
+@pytest.fixture()
+def grid() -> GCellGrid:
+    tech = make_ispd2015_like_technology()
+    die = Rect(0, 0, 8 * tech.gcell_size, 5 * tech.gcell_size)
+    return GCellGrid.for_design_die(die, tech)
+
+
+class TestIndexing:
+    def test_dimensions(self, grid):
+        assert (grid.nx, grid.ny) == (8, 5)
+        assert grid.num_cells == 40
+
+    def test_cell_of_point_corners(self, grid):
+        assert grid.cell_of_point(Point(0, 0)) == (0, 0)
+        # the far corner clamps into the last cell
+        assert grid.cell_of_point(Point(grid.die.xhi, grid.die.yhi)) == (7, 4)
+
+    def test_cell_of_point_clamps_outside(self, grid):
+        assert grid.cell_of_point(Point(-100, -100)) == (0, 0)
+        assert grid.cell_of_point(Point(1e9, 1e9)) == (7, 4)
+
+    def test_cell_bbox_out_of_range(self, grid):
+        with pytest.raises(IndexError):
+            grid.cell_bbox(8, 0)
+
+    def test_center_inside_bbox(self, grid):
+        for ix, iy in grid.iter_cells():
+            assert grid.cell_bbox(ix, iy).contains_point(grid.cell_center(ix, iy))
+
+    def test_normalized_center_range(self, grid):
+        for ix, iy in grid.iter_cells():
+            x, y = grid.normalized_center(ix, iy)
+            assert 0.0 < x < 1.0
+            assert 0.0 < y < 1.0
+
+    @given(st.integers(0, 7), st.integers(0, 4))
+    def test_flat_index_roundtrip(self, ix, iy):
+        tech = make_ispd2015_like_technology()
+        g = GCellGrid(Rect(0, 0, 8 * tech.gcell_size, 5 * tech.gcell_size),
+                      tech.gcell_size, 8, 5)
+        assert g.from_flat_index(g.flat_index(ix, iy)) == (ix, iy)
+
+    def test_iter_cells_matches_flat_order(self, grid):
+        for flat, (ix, iy) in enumerate(grid.iter_cells()):
+            assert grid.flat_index(ix, iy) == flat
+
+    def test_point_roundtrip(self, grid):
+        for ix, iy in grid.iter_cells():
+            assert grid.cell_of_point(grid.cell_center(ix, iy)) == (ix, iy)
+
+
+class TestWindow:
+    def test_positions_count_and_center(self):
+        assert len(WINDOW_POSITIONS) == 9
+        assert "o" in WINDOW_POSITIONS
+        assert WINDOW_OFFSETS["o"] == (0, 0)
+        assert WINDOW_OFFSETS["NE"] == (1, 1)
+        assert WINDOW_OFFSETS["SW"] == (-1, -1)
+
+    def test_window_cells_interior(self, grid):
+        cells = grid.window_cells(3, 2)
+        assert len(cells) == 9
+        assert all(c is not None for c in cells)
+        names = [c[0] for c in cells]
+        assert names == list(WINDOW_POSITIONS)
+
+    def test_window_cells_corner_padded(self, grid):
+        cells = grid.window_cells(0, 0)
+        # SW, S, SE, W, NW are off-die for the lower-left corner
+        padded = [c for c in cells if c is None]
+        assert len(padded) == 5
+
+    def test_twelve_edges_six_per_orientation(self):
+        assert len(WINDOW_EDGES) == 12
+        assert sum(1 for e in WINDOW_EDGES if e.orientation == "H") == 6
+        assert sum(1 for e in WINDOW_EDGES if e.orientation == "V") == 6
+
+    def test_edge_labels_unique_numbered(self):
+        labels = [e.label for e in WINDOW_EDGES]
+        assert len(set(labels)) == 12
+        numbers = sorted(int(l[:-1]) for l in labels)
+        assert numbers == list(range(1, 13))
+
+    def test_edge_cells_are_adjacent(self):
+        for e in WINDOW_EDGES:
+            dx = e.cell_b[0] - e.cell_a[0]
+            dy = e.cell_b[1] - e.cell_a[1]
+            if e.orientation == "H":
+                assert (dx, dy) == (1, 0)
+            else:
+                assert (dx, dy) == (0, 1)
+
+    def test_edge_cells_inside_window(self):
+        for e in WINDOW_EDGES:
+            for cell in (e.cell_a, e.cell_b):
+                assert -1 <= cell[0] <= 1
+                assert -1 <= cell[1] <= 1
+
+    def test_window_edge_cells_boundary_none(self, grid):
+        edge = WINDOW_EDGES[0]  # 1H: between SW and S
+        a, b = grid.window_edge_cells(0, 0, edge)
+        assert a is None and b is None
+
+    def test_window_edge_cells_interior(self, grid):
+        for e in WINDOW_EDGES:
+            a, b = grid.window_edge_cells(3, 2, e)
+            assert a is not None and b is not None
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1

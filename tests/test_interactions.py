@@ -1,0 +1,89 @@
+"""Tests for SHAP interaction values."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.shap.brute import conditional_expectation
+from repro.ml.shap.interactions import (
+    interaction_values,
+    interaction_values_single_tree,
+    top_interactions,
+)
+from repro.ml.shap.tree_explainer import TreeShapExplainer
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _and_forest(seed: int = 0):
+    """A model with a genuine x0-x1 interaction (AND-like target)."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(500, 4))
+    y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)
+    rf = RandomForestClassifier(n_estimators=4, max_depth=3, random_state=seed).fit(X, y)
+    return rf, X
+
+
+class TestInteractionValues:
+    def test_symmetry(self):
+        rf, X = _and_forest()
+        mat = interaction_values(rf.trees, X[0], [0, 1, 2, 3])
+        assert np.allclose(mat, mat.T)
+
+    def test_matrix_total_matches_value_difference(self):
+        """Σ_ij Phi_ij = v(features) − v(∅), exactly (restricted game)."""
+        rf, X = _and_forest()
+        feats = [0, 1, 2, 3]
+        x = X[1]
+        mat = interaction_values(rf.trees, x, feats)
+        expect = np.mean(
+            [
+                conditional_expectation(t, x, frozenset(feats))
+                - conditional_expectation(t, x, frozenset())
+                for t in rf.trees
+            ]
+        )
+        assert mat.sum() == pytest.approx(expect, abs=1e-10)
+
+    def test_row_sums_equal_full_shap_when_all_features_included(self):
+        """With the full feature set, row sums are the ordinary SHAP values."""
+        rf, X = _and_forest(seed=1)
+        x = X[2]
+        mat = interaction_values(rf.trees, x, [0, 1, 2, 3])
+        phi = TreeShapExplainer(rf.trees, 4).shap_values_single(x)
+        assert np.allclose(mat.sum(axis=1), phi, atol=1e-10)
+
+    def test_and_interaction_is_captured(self):
+        """The AND structure puts real mass on the (x0, x1) off-diagonal."""
+        rf, X = _and_forest(seed=2)
+        both_high = X[(X[:, 0] > 0.5) & (X[:, 1] > 0.5)][0]
+        mat = interaction_values(rf.trees, both_high, [0, 1, 2, 3])
+        assert abs(mat[0, 1]) > 1e-3
+        # the signal interaction dominates spurious noise-pair interactions
+        assert abs(mat[0, 1]) > 10 * abs(mat[2, 3])
+
+    def test_additive_model_has_no_interactions(self):
+        """A sum of single-feature stumps has a diagonal interaction matrix."""
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 3))
+        trees = []
+        for j in range(3):
+            y = (X[:, j] > 0).astype(int)
+            t = DecisionTreeClassifier(max_depth=1, max_features=None, random_state=j)
+            t.fit(X, y)
+            trees.append(t.tree_)
+        mat = interaction_values(trees, X[0], [0, 1, 2])
+        off_diag = mat - np.diag(np.diag(mat))
+        assert np.allclose(off_diag, 0.0, atol=1e-12)
+
+    def test_needs_two_features(self):
+        rf, X = _and_forest()
+        with pytest.raises(ValueError):
+            interaction_values_single_tree(rf.trees[0], X[0], [0])
+
+    def test_top_interactions_workflow(self):
+        rf, X = _and_forest(seed=4)
+        explainer = TreeShapExplainer(rf.trees, 4)
+        feats, mat = top_interactions(explainer, rf.trees, X[0], k=3)
+        assert len(feats) == 3
+        assert mat.shape == (3, 3)
+        assert np.allclose(mat, mat.T)

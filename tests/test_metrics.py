@@ -1,0 +1,146 @@
+"""Tests for the evaluation metrics (ROC/PR/A_prc/TPR*/Prec*)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.metrics import (
+    auc_roc,
+    average_precision,
+    confusion_at_threshold,
+    evaluate_scores,
+    operating_point_at_fpr,
+    pr_curve,
+    roc_curve,
+)
+
+
+Y = np.array([0, 0, 1, 1])
+S = np.array([0.1, 0.4, 0.35, 0.8])
+
+
+class TestROC:
+    def test_known_auc(self):
+        # classic sklearn doc example: AUC = 0.75
+        assert auc_roc(Y, S) == pytest.approx(0.75)
+
+    def test_perfect(self):
+        assert auc_roc([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_inverted(self):
+        assert auc_roc([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == pytest.approx(0.0)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc_roc([1, 1, 1], [0.1, 0.2, 0.3])
+
+    def test_curve_monotone(self):
+        fpr, tpr, thr = roc_curve(Y, S)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+        assert fpr[0] == 0 and tpr[0] == 0
+        assert fpr[-1] == 1 and tpr[-1] == 1
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30)
+    def test_auc_of_random_scores_near_half(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=500)
+        if y.sum() in (0, 500):
+            return
+        s = rng.normal(size=500)
+        assert 0.3 < auc_roc(y, s) < 0.7
+
+
+class TestPR:
+    def test_known_average_precision(self):
+        # sklearn doc example: AP = 0.8333...
+        assert average_precision(Y, S) == pytest.approx(0.8333333, abs=1e-6)
+
+    def test_perfect_ap_is_one(self):
+        assert average_precision([0, 1, 1], [0.1, 0.8, 0.9]) == pytest.approx(1.0)
+
+    def test_constant_scores_ap_equals_prevalence(self):
+        y = np.array([0] * 90 + [1] * 10)
+        s = np.zeros(100)
+        assert average_precision(y, s) == pytest.approx(0.1)
+
+    def test_no_positives_raises(self):
+        with pytest.raises(ValueError):
+            average_precision([0, 0], [0.1, 0.2])
+
+    def test_recall_reaches_one(self):
+        precision, recall, _ = pr_curve(Y, S)
+        assert recall[-1] == pytest.approx(1.0)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40)
+    def test_ap_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=200)
+        if y.sum() == 0:
+            return
+        s = rng.normal(size=200)
+        ap = average_precision(y, s)
+        assert 0.0 <= ap <= 1.0
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_score_shift_invariance(self, seed):
+        """AP depends only on the ordering of scores."""
+        rng = np.random.default_rng(seed)
+        y = rng.integers(0, 2, size=100)
+        if y.sum() in (0, 100):
+            return
+        s = rng.normal(size=100)
+        assert average_precision(y, s) == pytest.approx(
+            average_precision(y, 10.0 + 2.0 * s)
+        )
+
+
+class TestOperatingPoint:
+    def test_fpr_budget_respected(self):
+        rng = np.random.default_rng(5)
+        y = (rng.random(2000) < 0.05).astype(int)
+        s = y * 0.5 + rng.normal(scale=0.3, size=2000)
+        op = operating_point_at_fpr(y, s, 0.005)
+        assert op.fpr <= 0.005
+
+    def test_perfect_classifier(self):
+        y = np.array([0] * 400 + [1] * 5)
+        s = np.concatenate([np.linspace(0, 0.4, 400), np.full(5, 0.9)])
+        op = operating_point_at_fpr(y, s, 0.005)
+        # the operating point maximises recall within the FPR budget, so it
+        # admits up to 0.5% of negatives (2 of 400) as false positives
+        assert op.tpr == 1.0
+        assert op.fp <= 2
+        assert op.precision >= 5 / 7
+
+    def test_confusion_consistency(self):
+        op = operating_point_at_fpr(Y, S, 0.5)
+        tp, fp, fn, tn = confusion_at_threshold(Y, S, op.threshold)
+        assert (tp, fp, fn, tn) == (op.tp, op.fp, op.fn, op.tn)
+
+    def test_counts_sum(self):
+        op = operating_point_at_fpr(Y, S, 0.25)
+        assert op.tp + op.fp + op.fn + op.tn == len(Y)
+
+
+class TestEvaluateScores:
+    def test_bundle(self):
+        r = evaluate_scores(Y, S, target_fpr=0.5)
+        assert r.num_samples == 4
+        assert r.num_positives == 2
+        assert 0 <= r.tpr_star <= 1
+        assert 0 <= r.a_prc <= 1
+        assert "0." in r.format_row()
+
+    def test_better_model_scores_higher(self):
+        rng = np.random.default_rng(0)
+        y = (rng.random(1000) < 0.1).astype(int)
+        good = y + rng.normal(scale=0.3, size=1000)
+        bad = y + rng.normal(scale=3.0, size=1000)
+        rg = evaluate_scores(y, good)
+        rb = evaluate_scores(y, bad)
+        assert rg.a_prc > rb.a_prc
+        assert rg.a_roc > rb.a_roc

@@ -1,0 +1,117 @@
+"""Tests for grouped CV, grid search and complexity accounting."""
+
+import numpy as np
+import pytest
+
+from repro.ml.complexity import complexity_of
+from repro.ml.boosting import RUSBoostClassifier
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.model_selection import (
+    GroupKFold,
+    grid_search,
+    iterate_grid,
+    positive_scores,
+)
+from repro.ml.nn import MLPClassifier
+from repro.ml.svm import SVMClassifier
+from tests.conftest import make_separable
+
+
+class TestGroupKFold:
+    def test_leave_one_group_out(self):
+        groups = np.array([0, 0, 1, 1, 2, 2, 2])
+        splits = GroupKFold().split(groups)
+        assert len(splits) == 3
+        for train, val, g in splits:
+            assert set(groups[val]) == {g}
+            assert g not in set(groups[train])
+            assert len(train) + len(val) == len(groups)
+
+    def test_no_sample_in_both(self):
+        groups = np.array([0, 1, 0, 1, 2])
+        for train, val, _ in GroupKFold().split(groups):
+            assert not set(train) & set(val)
+
+
+class TestGrid:
+    def test_iterate_grid_combinations(self):
+        grid = {"a": [1, 2], "b": ["x", "y", "z"]}
+        combos = iterate_grid(grid)
+        assert len(combos) == 6
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_empty_grid(self):
+        assert iterate_grid({}) == [{}]
+
+    def test_grid_search_picks_better_depth(self):
+        """Grid search must prefer a depth that actually validates better."""
+        X, y = make_separable(n=1200, seed=60)
+        groups = np.repeat(np.arange(4), 300)
+
+        def factory(max_depth=1):
+            return RandomForestClassifier(
+                n_estimators=15, max_depth=max_depth, random_state=0
+            )
+
+        result = grid_search(factory, {"max_depth": [1, 8]}, X, y, groups)
+        assert result.best_params == {"max_depth": 8}
+        assert len(result.table) == 2
+        assert result.best_score > 0.4
+        assert "max_depth" in result.format_table()
+
+    def test_skips_single_class_folds(self):
+        X, y = make_separable(n=400, seed=61)
+        y[:100] = 0  # group 0's fold has no positives
+        groups = np.repeat(np.arange(4), 100)
+
+        def factory():
+            return RandomForestClassifier(n_estimators=5, random_state=0)
+
+        result = grid_search(factory, {}, X, y, groups)
+        (params, mean, folds) = result.table[0]
+        assert len(folds) <= 3 or all(np.isfinite(folds))
+
+
+class TestPositiveScores:
+    def test_extracts_positive_column(self):
+        X, y = make_separable(n=200, seed=62)
+        m = RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)
+        s = positive_scores(m, X)
+        assert np.allclose(s, m.predict_proba(X)[:, 1])
+
+
+class TestComplexity:
+    def test_all_model_types_dispatch(self):
+        X, y = make_separable(n=400, seed=63)
+        X_ref = X[:100]
+        models = [
+            ("RF", RandomForestClassifier(n_estimators=5, random_state=0).fit(X, y)),
+            ("RUSBoost", RUSBoostClassifier(n_estimators=5, random_state=0).fit(X, y)),
+            ("SVM", SVMClassifier(max_train_samples=200, random_state=0).fit(X, y)),
+            ("NN", MLPClassifier(epochs=2, random_state=0).fit(X, y)),
+        ]
+        for name, model in models:
+            rep = complexity_of(model, X_ref, name)
+            assert rep.num_parameters > 0
+            assert rep.prediction_ops_per_sample > 0
+            assert name in rep.format_row()
+
+    def test_svm_ops_dominate_rf(self):
+        """The paper's key complexity claim at any scale: SVM-RBF needs far
+        more operations per prediction than RF."""
+        X, y = make_separable(n=800, seed=64)
+        rf = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        svm = SVMClassifier(max_train_samples=800, random_state=0).fit(X, y)
+        rf_ops = complexity_of(rf, X[:100], "RF").prediction_ops_per_sample
+        svm_ops = complexity_of(svm, X[:100], "SVM").prediction_ops_per_sample
+        assert svm_ops > 10 * rf_ops
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(TypeError):
+            complexity_of(object(), np.zeros((1, 2)), "x")
+
+    def test_mlp_params_match_ops_scale(self):
+        X, y = make_separable(n=200, n_features=10, seed=65)
+        m = MLPClassifier(hidden_layers=(20,), epochs=2, random_state=0).fit(X, y)
+        rep = complexity_of(m, X, "NN")
+        assert rep.prediction_ops_per_sample > rep.num_parameters  # ~2x MACs

@@ -1,0 +1,87 @@
+"""Tests for model persistence (.npz archives)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.nn import MLPClassifier
+from repro.ml.persistence import (
+    ModelFormatError,
+    load_forest,
+    load_mlp,
+    load_scaler,
+    load_svm,
+    save_forest,
+    save_mlp,
+    save_scaler,
+    save_svm,
+)
+from repro.ml.scaling import StandardScaler
+from repro.ml.shap.tree_explainer import TreeShapExplainer
+from repro.ml.svm import SVMClassifier
+from tests.conftest import make_separable
+
+
+@pytest.fixture(scope="module")
+def data():
+    return make_separable(n=400, seed=80)
+
+
+class TestForestPersistence:
+    def test_roundtrip_predictions_identical(self, data, tmp_path):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=8, random_state=0).fit(X, y)
+        path = save_forest(rf, tmp_path / "rf.npz")
+        back = load_forest(path)
+        assert np.array_equal(back.predict_proba(X), rf.predict_proba(X))
+        assert back.base_rate_ == rf.base_rate_
+
+    def test_loaded_forest_explains(self, data, tmp_path):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=5, max_depth=4, random_state=0).fit(X, y)
+        back = load_forest(save_forest(rf, tmp_path / "rf.npz"))
+        ex_orig = TreeShapExplainer(rf.trees, X.shape[1])
+        ex_back = TreeShapExplainer(back.trees, X.shape[1])
+        assert np.allclose(
+            ex_orig.shap_values_single(X[0]), ex_back.shap_values_single(X[0])
+        )
+
+    def test_unfitted_raises(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_forest(RandomForestClassifier(), tmp_path / "x.npz")
+
+
+class TestOtherModels:
+    def test_svm_roundtrip(self, data, tmp_path):
+        X, y = data
+        svm = SVMClassifier(max_train_samples=300, random_state=0).fit(X, y)
+        back = load_svm(save_svm(svm, tmp_path / "svm.npz"))
+        assert np.allclose(back.decision_function(X), svm.decision_function(X))
+
+    def test_mlp_roundtrip(self, data, tmp_path):
+        X, y = data
+        mlp = MLPClassifier(hidden_layers=(16, 4), epochs=3, random_state=0).fit(X, y)
+        back = load_mlp(save_mlp(mlp, tmp_path / "mlp.npz"))
+        assert np.allclose(back.predict_proba(X), mlp.predict_proba(X))
+        assert back.hidden_layers == (16, 4)
+
+    def test_scaler_roundtrip(self, data, tmp_path):
+        X, _ = data
+        sc = StandardScaler().fit(X)
+        back = load_scaler(save_scaler(sc, tmp_path / "sc.npz"))
+        assert np.allclose(back.transform(X), sc.transform(X))
+
+
+class TestFormatErrors:
+    def test_kind_mismatch(self, data, tmp_path):
+        X, y = data
+        rf = RandomForestClassifier(n_estimators=2, random_state=0).fit(X, y)
+        path = save_forest(rf, tmp_path / "rf.npz")
+        with pytest.raises(ModelFormatError, match="expected"):
+            load_svm(path)
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ModelFormatError):
+            load_forest(path)

@@ -1,0 +1,77 @@
+"""Integration tests: the Fig. 1 flow and the suite builder."""
+
+import numpy as np
+import pytest
+
+from repro.bench.generator import DesignRecipe
+from repro.core.pipeline import build_suite_dataset, run_flow
+from repro.features.names import NUM_FEATURES
+from repro.layout.design_stats import design_statistics
+
+
+class TestRunFlow:
+    def test_all_artifacts_present(self, small_flow):
+        flow = small_flow
+        assert flow.design.is_placed
+        assert flow.X.shape == (flow.grid.num_cells, NUM_FEATURES)
+        assert flow.y.shape == (flow.grid.num_cells,)
+        assert flow.stats.num_gcells == flow.grid.num_cells
+        assert flow.stats.num_hotspots == int(flow.y.sum())
+        assert set(flow.stage_seconds) == {
+            "generate", "place", "global_route", "drc_sim", "features",
+        }
+
+    def test_labels_match_report(self, small_flow):
+        mask = small_flow.drc_report.hotspot_mask(small_flow.grid)
+        assert int(mask.sum()) == int(small_flow.y.sum())
+
+    def test_dataset_property(self, small_flow):
+        d = small_flow.dataset
+        assert d.name == small_flow.design.name
+        assert d.num_samples == small_flow.grid.num_cells
+
+    def test_flow_deterministic(self):
+        recipe = DesignRecipe(name="flowdet", grid_nx=8, grid_ny=8, seed=77)
+        f1 = run_flow(recipe)
+        f2 = run_flow(recipe)
+        assert np.array_equal(f1.X, f2.X)
+        assert np.array_equal(f1.y, f2.y)
+
+    def test_stats_row(self, small_flow):
+        row = small_flow.stats.format_row()
+        assert "testchip" in row
+
+    def test_design_statistics_fields(self, small_flow):
+        stats = design_statistics(
+            small_flow.design, small_flow.grid,
+            small_flow.drc_report.num_hotspots(small_flow.grid),
+        )
+        assert stats.num_macros == 1
+        assert stats.num_cells == small_flow.design.num_cells
+        assert stats.layout_width_um == pytest.approx(
+            small_flow.design.die.width / 100
+        )
+        assert 0.0 <= stats.hotspot_rate <= 1.0
+
+
+class TestSuiteBuilder:
+    def test_scaled_suite_with_cache(self, tmp_path):
+        cache = tmp_path / "mini.npz"
+        suite1, stats1 = build_suite_dataset(0.35, cache_path=cache)
+        assert cache.exists()
+        assert len(suite1.designs) == 14
+        assert {d.group for d in suite1.designs} == {0, 1, 2, 3, 4}
+
+        # second call loads from cache and returns identical data
+        suite2, stats2 = build_suite_dataset(0.35, cache_path=cache)
+        assert suite2.names == suite1.names
+        for d1, d2 in zip(suite1.designs, suite2.designs):
+            assert np.array_equal(d1.y, d2.y)
+        assert [s.num_hotspots for s in stats1] == [s.num_hotspots for s in stats2]
+
+    def test_group_assignment_matches_table1(self, tmp_path):
+        suite, _ = build_suite_dataset(0.35, cache_path=tmp_path / "g.npz")
+        from repro.bench.suite import group_index_of
+
+        for d in suite.designs:
+            assert d.group == group_index_of(d.name)

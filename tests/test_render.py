@@ -1,0 +1,38 @@
+"""Tests for the ASCII layout renderer (Fig. 2 analogue)."""
+
+import pytest
+
+from repro.layout.render import render_window_layout
+
+
+class TestRenderWindowLayout:
+    def test_contains_legend_and_header(self, small_flow):
+        text = render_window_layout(small_flow.design, small_flow.grid, (5, 5))
+        assert "legend" in text
+        assert "g-cell (5,5)" in text
+
+    def test_draws_cells_and_pins(self, small_flow):
+        text = render_window_layout(small_flow.design, small_flow.grid, (5, 5))
+        assert "%" in text  # cell bodies
+        assert "*" in text  # pins
+
+    def test_macro_rendered(self, small_flow):
+        macro = small_flow.design.macros[0]
+        mx, my = small_flow.grid.cell_of_point(macro.bbox.center)
+        text = render_window_layout(small_flow.design, small_flow.grid, (mx, my))
+        assert "#" in text
+
+    def test_corner_window_clips(self, small_flow):
+        text = render_window_layout(small_flow.design, small_flow.grid, (0, 0))
+        assert "g-cell (0,0)" in text
+
+    def test_out_of_grid_raises(self, small_flow):
+        with pytest.raises(IndexError):
+            render_window_layout(small_flow.design, small_flow.grid, (99, 99))
+
+    def test_width_respected(self, small_flow):
+        text = render_window_layout(
+            small_flow.design, small_flow.grid, (5, 5), char_width=40
+        )
+        body = text.splitlines()[2:]
+        assert all(len(line) <= 40 for line in body)

@@ -1,0 +1,138 @@
+"""Tests for pattern routing and A* maze routing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.route.maze import route_maze
+from repro.route.patterns import route_pattern
+
+
+def _path_is_4connected(path):
+    for a, b in zip(path, path[1:]):
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1
+
+
+def _path_cost(path, cost_h, cost_v):
+    total = 0.0
+    for (ax, ay), (bx, by) in zip(path, path[1:]):
+        if ay == by:
+            total += cost_h[min(ax, bx), ay]
+        else:
+            total += cost_v[ax, min(ay, by)]
+    return total
+
+
+def _uniform(nx_, ny_):
+    return np.ones((nx_ - 1, ny_)), np.ones((nx_, ny_ - 1))
+
+
+class TestPatternRouting:
+    def test_straight_horizontal(self):
+        ch, cv = _uniform(6, 6)
+        path, cost = route_pattern((0, 2), (4, 2), ch, cv)
+        assert path == [(0, 2), (1, 2), (2, 2), (3, 2), (4, 2)]
+        assert cost == 4
+
+    def test_straight_vertical(self):
+        ch, cv = _uniform(6, 6)
+        path, cost = route_pattern((2, 0), (2, 3), ch, cv)
+        assert len(path) == 4
+        _path_is_4connected(path)
+
+    def test_same_cell(self):
+        ch, cv = _uniform(4, 4)
+        assert route_pattern((1, 1), (1, 1), ch, cv) == ([(1, 1)], 0.0)
+
+    def test_l_route_connects(self):
+        ch, cv = _uniform(8, 8)
+        path, cost = route_pattern((1, 1), (5, 6), ch, cv)
+        assert path[0] == (1, 1) and path[-1] == (5, 6)
+        _path_is_4connected(path)
+        # shortest possible length on uniform costs
+        assert cost == (5 - 1) + (6 - 1)
+
+    def test_z_avoids_expensive_column(self):
+        nx_, ny_ = 7, 7
+        ch = np.ones((nx_ - 1, ny_))
+        cv = np.ones((nx_, ny_ - 1))
+        # make both L corners expensive; a Z through the middle is cheaper
+        ch[:, 0] = 100.0  # bottom row horizontal edges
+        ch[:, 5] = 100.0  # top row horizontal edges
+        path, cost = route_pattern((0, 0), (6, 5), ch, cv)
+        assert path[0] == (0, 0) and path[-1] == (6, 5)
+        rows_used = {y for _, y in path}
+        assert rows_used - {0, 5}, "expected a jog through an interior row"
+        assert cost < 100
+
+    def test_reported_cost_matches_path(self):
+        rng = np.random.default_rng(0)
+        ch = rng.uniform(1, 5, size=(9, 10))
+        cv = rng.uniform(1, 5, size=(10, 9))
+        path, cost = route_pattern((1, 2), (8, 7), ch, cv)
+        assert cost == pytest.approx(_path_cost(path, ch, cv))
+
+
+class TestMazeRouting:
+    def test_simple_optimal(self):
+        ch, cv = _uniform(5, 5)
+        path, cost = route_maze((0, 0), (4, 4), ch, cv)
+        assert cost == 8
+        _path_is_4connected(path)
+
+    def test_avoids_wall(self):
+        nx_, ny_ = 5, 5
+        ch = np.ones((nx_ - 1, ny_))
+        cv = np.ones((nx_, ny_ - 1))
+        cv[2, :] = 1000.0  # vertical moves in column 2 are terrible
+        path, cost = route_maze((2, 0), (2, 4), ch, cv)
+        assert path[0] == (2, 0) and path[-1] == (2, 4)
+        assert cost < 1000
+
+    def test_endpoint_validation(self):
+        ch, cv = _uniform(4, 4)
+        with pytest.raises(ValueError):
+            route_maze((0, 0), (9, 9), ch, cv)
+
+    def test_same_cell(self):
+        ch, cv = _uniform(4, 4)
+        assert route_maze((2, 2), (2, 2), ch, cv) == ([(2, 2)], 0.0)
+
+    @given(
+        st.integers(0, 5), st.integers(0, 5), st.integers(0, 5), st.integers(0, 5),
+        st.integers(0, 10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_maze_never_worse_than_pattern(self, ax, ay, bx, by, seed):
+        """A* explores all paths, so it can only match or beat L/Z routing."""
+        rng = np.random.default_rng(seed)
+        ch = rng.uniform(0.5, 4.0, size=(5, 6))
+        cv = rng.uniform(0.5, 4.0, size=(6, 5))
+        p_path, p_cost = route_pattern((ax, ay), (bx, by), ch, cv)
+        m_path, m_cost = route_maze((ax, ay), (bx, by), ch, cv)
+        assert m_cost <= p_cost + 1e-9
+        assert m_path[0] == (ax, ay) and m_path[-1] == (bx, by)
+        assert p_path[0] == (ax, ay) and p_path[-1] == (bx, by)
+        _path_is_4connected(m_path)
+        _path_is_4connected(p_path)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_maze_matches_dijkstra(self, seed):
+        """A* cost equals networkx shortest path on the same grid graph."""
+        import networkx as nx
+
+        rng = np.random.default_rng(seed)
+        n = 5
+        ch = rng.uniform(0.5, 4.0, size=(n - 1, n))
+        cv = rng.uniform(0.5, 4.0, size=(n, n - 1))
+        g = nx.Graph()
+        for x in range(n - 1):
+            for y in range(n):
+                g.add_edge((x, y), (x + 1, y), weight=ch[x, y])
+        for x in range(n):
+            for y in range(n - 1):
+                g.add_edge((x, y), (x, y + 1), weight=cv[x, y])
+        expected = nx.shortest_path_length(g, (0, 0), (n - 1, n - 1), weight="weight")
+        _, cost = route_maze((0, 0), (n - 1, n - 1), ch, cv)
+        assert cost == pytest.approx(expected)

@@ -1,0 +1,76 @@
+"""Tests for the Saabas attribution baseline and its inconsistency."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.shap.saabas import SaabasExplainer, make_inconsistency_example
+from repro.ml.shap.tree_explainer import TreeShapExplainer
+from tests.conftest import make_separable
+
+
+class TestSaabas:
+    def test_local_accuracy(self):
+        """The telescoping sum reaches the leaf: base + sum = f(x)."""
+        X, y = make_separable(n=400, seed=70)
+        rf = RandomForestClassifier(n_estimators=6, max_depth=5, random_state=0).fit(X, y)
+        ex = SaabasExplainer(rf.trees, X.shape[1])
+        for i in (0, 10, 50):
+            phi = ex.shap_values_single(X[i])
+            fx = rf.predict_proba(X[i][None])[0, 1]
+            assert ex.expected_value + phi.sum() == pytest.approx(fx, abs=1e-9)
+
+    def test_only_path_features_credited(self):
+        X, y = make_separable(n=400, seed=71)
+        rf = RandomForestClassifier(n_estimators=1, max_depth=3, random_state=0).fit(X, y)
+        tree = rf.trees[0]
+        ex = SaabasExplainer([tree], X.shape[1])
+        phi = ex.shap_values_single(X[0])
+        used = set(tree.feature[tree.feature >= 0])
+        for j in range(X.shape[1]):
+            if j not in used:
+                assert phi[j] == 0.0
+
+    def test_batch_api(self):
+        X, y = make_separable(n=200, seed=72)
+        rf = RandomForestClassifier(n_estimators=3, max_depth=3, random_state=0).fit(X, y)
+        ex = SaabasExplainer(rf.trees, X.shape[1])
+        batch = ex.shap_values(X[:4])
+        assert batch.shape == (4, X.shape[1])
+
+    def test_wrong_width_raises(self):
+        X, y = make_separable(n=100, seed=73)
+        rf = RandomForestClassifier(n_estimators=1, random_state=0).fit(X, y)
+        ex = SaabasExplainer(rf.trees, X.shape[1])
+        with pytest.raises(ValueError):
+            ex.shap_values_single(np.zeros(3))
+
+
+class TestInconsistency:
+    """The canonical Lundberg Fig. 1 scenario, checked numerically."""
+
+    def test_shap_is_consistent(self):
+        tree_a, tree_b, x = make_inconsistency_example()
+        phi_a = TreeShapExplainer([tree_a], 2).shap_values_single(x)
+        phi_b = TreeShapExplainer([tree_b], 2).shap_values_single(x)
+        # model B depends strictly more on x0 -> SHAP attribution grows
+        assert phi_b[0] > phi_a[0]
+        assert phi_a[0] == pytest.approx(1.875)
+        assert phi_b[0] == pytest.approx(2.875)
+
+    def test_saabas_is_inconsistent(self):
+        tree_a, tree_b, x = make_inconsistency_example()
+        phi_a = SaabasExplainer([tree_a], 2).shap_values_single(x)
+        phi_b = SaabasExplainer([tree_b], 2).shap_values_single(x)
+        # same scenario: Saabas attribution of x0 *decreases*
+        assert phi_b[0] < phi_a[0]
+        assert phi_a[0] == pytest.approx(2.5)
+        assert phi_b[0] == pytest.approx(2.25)
+
+    def test_both_locally_accurate_on_example(self):
+        tree_a, tree_b, x = make_inconsistency_example()
+        for tree, fx in ((tree_a, 5.0), (tree_b, 7.0)):
+            for explainer_cls in (TreeShapExplainer, SaabasExplainer):
+                ex = explainer_cls([tree], 2)
+                phi = ex.shap_values_single(x)
+                assert ex.expected_value + phi.sum() == pytest.approx(fx)

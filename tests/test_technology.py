@@ -1,0 +1,75 @@
+"""Tests for the technology description."""
+
+import pytest
+
+from repro.layout.technology import (
+    HORIZONTAL,
+    VERTICAL,
+    make_ispd2015_like_technology,
+)
+
+
+@pytest.fixture()
+def tech():
+    return make_ispd2015_like_technology()
+
+
+class TestStack:
+    def test_five_metals_four_vias(self, tech):
+        assert tech.num_metal_layers == 5
+        assert tech.num_via_layers == 4
+
+    def test_alternating_directions(self, tech):
+        dirs = [tech.metal(m).direction for m in range(1, 6)]
+        assert dirs == [HORIZONTAL, VERTICAL, HORIZONTAL, VERTICAL, HORIZONTAL]
+
+    def test_layer_names(self, tech):
+        assert tech.metal(3).name == "M3"
+        assert tech.via(2).name == "V2"
+
+    def test_via_connects_consecutive_metals(self, tech):
+        for v in range(1, 5):
+            via = tech.via(v)
+            assert via.upper_metal == via.lower_metal + 1
+
+    def test_gr_layers_exclude_m1(self, tech):
+        assert tech.gr_metal_indices == (2, 3, 4, 5)
+        assert tech.gr_via_indices == (1, 2, 3, 4)
+
+
+class TestCapacity:
+    def test_edge_capacity_positive_and_derated(self, tech):
+        for m in tech.gr_metal_indices:
+            cap = tech.edge_capacity(m)
+            tracks = int(tech.gcell_size / tech.metal(m).pitch)
+            assert 0 < cap <= tracks
+
+    def test_upper_layers_have_fewer_tracks(self, tech):
+        # wider pitch on M4/M5 means less capacity than M2/M3
+        assert tech.edge_capacity(4) < tech.edge_capacity(2)
+
+    def test_via_capacity_positive(self, tech):
+        for v in range(1, 5):
+            assert tech.via_capacity(v) > 0
+
+    def test_via_capacity_decreases_with_spacing(self, tech):
+        assert tech.via_capacity(4) <= tech.via_capacity(1)
+
+
+class TestNDR:
+    def test_lookup(self, tech):
+        rule = tech.ndr("ndr_2w2s")
+        assert rule.width_multiplier == 2.0
+
+    def test_unknown_raises(self, tech):
+        with pytest.raises(KeyError):
+            tech.ndr("nope")
+
+    def test_track_cost_scales(self, tech):
+        assert tech.ndr("ndr_2w2s").track_cost == 2
+        assert tech.ndr("ndr_3w3s").track_cost == 3
+
+    def test_default_rule_costs_one_track(self):
+        from repro.layout.technology import NonDefaultRule
+
+        assert NonDefaultRule("unit", 1.0, 1.0).track_cost == 1

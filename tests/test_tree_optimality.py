@@ -1,0 +1,69 @@
+"""Exactness of the binned CART split search.
+
+With fewer distinct feature values than bins, binning is lossless and the
+histogram split search must find exactly the impurity-optimal split a
+brute-force scan finds.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.tree import DecisionTreeClassifier
+
+
+def _gini(y: np.ndarray) -> float:
+    if len(y) == 0:
+        return 0.0
+    p = y.mean()
+    return 2.0 * p * (1.0 - p)
+
+
+def _best_split_brute(X: np.ndarray, y: np.ndarray) -> float:
+    """Minimum weighted child gini over all (feature, threshold) splits."""
+    n = len(y)
+    best = np.inf
+    for j in range(X.shape[1]):
+        values = np.unique(X[:, j])
+        for lo, hi in zip(values[:-1], values[1:]):
+            thr = (lo + hi) / 2.0
+            left = y[X[:, j] < thr]
+            right = y[X[:, j] >= thr]
+            score = (len(left) * _gini(left) + len(right) * _gini(right)) / n
+            best = min(best, score)
+    return best
+
+
+class TestRootSplitOptimality:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_root_split_is_optimal(self, seed):
+        rng = np.random.default_rng(seed)
+        # few distinct values -> binning is lossless
+        X = rng.choice([0.0, 1.0, 2.0, 3.0, 4.0], size=(60, 3))
+        y = rng.integers(0, 2, size=60).astype(np.int8)
+        if y.sum() in (0, 60):
+            return
+
+        tree = DecisionTreeClassifier(
+            max_depth=1, max_features=None, random_state=0
+        ).fit(X, y)
+        t = tree.tree_
+        if t.node_count == 1:  # no split improved impurity
+            brute = _best_split_brute(X, y)
+            assert brute >= _gini(y) - 1e-9
+            return
+
+        feat = int(t.feature[0])
+        thr = float(t.threshold[0])
+        left = y[X[:, feat] < thr]
+        right = y[X[:, feat] >= thr]
+        ours = (len(left) * _gini(left) + len(right) * _gini(right)) / len(y)
+        brute = _best_split_brute(X, y)
+        assert ours == pytest.approx(brute, abs=1e-12)
+
+    def test_threshold_lies_between_values(self):
+        X = np.array([[0.0], [0.0], [10.0], [10.0]])
+        y = np.array([0, 0, 1, 1])
+        tree = DecisionTreeClassifier(max_features=None, random_state=0).fit(X, y)
+        assert 0.0 < tree.tree_.threshold[0] < 10.0

@@ -1,0 +1,86 @@
+"""Tests for the what-if intervention tool."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.whatif import apply_intervention, relief_suggestions, what_if
+from repro.features.names import NUM_FEATURES, feature_index
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.shap.tree_explainer import TreeShapExplainer
+
+
+class _ThresholdModel:
+    """Predicts hot iff the edM5_7H margin is negative (for crisp tests)."""
+
+    def __init__(self):
+        self.j = feature_index()["edM5_7H"]
+
+    def predict_proba(self, X):
+        p = (np.atleast_2d(X)[:, self.j] < 0).astype(float)
+        return np.column_stack([1 - p, p])
+
+
+class TestApplyIntervention:
+    def test_plain_feature(self):
+        idx = feature_index()
+        x = np.zeros(NUM_FEATURES)
+        out, changed = apply_intervention(x, {"pins_o": 7.0})
+        assert out[idx["pins_o"]] == 7.0
+        assert changed == ("pins_o",)
+        assert x[idx["pins_o"]] == 0.0  # original untouched
+
+    def test_load_updates_margin(self):
+        idx = feature_index()
+        x = np.zeros(NUM_FEATURES)
+        x[idx["ecM5_7H"]] = 8.0
+        x[idx["elM5_7H"]] = 2.0
+        x[idx["edM5_7H"]] = 6.0
+        out, changed = apply_intervention(x, {"elM5_7H": 10.0})
+        assert out[idx["edM5_7H"]] == -2.0
+        assert "edM5_7H" in changed
+
+    def test_margin_updates_load(self):
+        idx = feature_index()
+        x = np.zeros(NUM_FEATURES)
+        x[idx["vcV2_o"]] = 20.0
+        x[idx["vlV2_o"]] = 18.0
+        x[idx["vdV2_o"]] = 2.0
+        out, changed = apply_intervention(x, {"vdV2_o": 10.0})
+        assert out[idx["vlV2_o"]] == 10.0
+        assert "vlV2_o" in changed
+
+    def test_unknown_feature_raises(self):
+        with pytest.raises(KeyError):
+            apply_intervention(np.zeros(NUM_FEATURES), {"bogus": 1.0})
+
+
+class TestWhatIf:
+    def test_relief_flips_threshold_model(self):
+        idx = feature_index()
+        x = np.zeros(NUM_FEATURES)
+        x[idx["ecM5_7H"]] = 8.0
+        x[idx["elM5_7H"]] = 12.0
+        x[idx["edM5_7H"]] = -4.0  # overflowed: model says hotspot
+        model = _ThresholdModel()
+        result = what_if(model, x, {"elM5_7H": 4.0})
+        assert result.baseline_probability == 1.0
+        assert result.new_probability == 0.0
+        assert result.delta == -1.0
+        assert "P 1.0000 -> 0.0000" in result.format_row()
+
+    def test_relief_suggestions_on_real_forest(self, small_flow):
+        X, y = small_flow.X, small_flow.y
+        if y.sum() == 0:
+            pytest.skip("no hotspots in the flow design")
+        rf = RandomForestClassifier(n_estimators=20, random_state=0).fit(X, y)
+        probs = rf.predict_proba(X)[:, 1]
+        row = int(np.argmax(probs))
+        explainer = TreeShapExplainer(rf.trees, X.shape[1])
+        shap_vals = explainer.shap_values_single(X[row])
+        suggestions = relief_suggestions(rf, X[row], shap_vals, top_k=3)
+        assert suggestions
+        # ranked by achieved drop: first is the most helpful
+        deltas = [s.delta for s in suggestions]
+        assert deltas == sorted(deltas)
+        # relieving the top drivers should not make things look worse
+        assert deltas[0] <= 0.02
