@@ -12,6 +12,8 @@ paper, including every substrate it depends on:
 * :mod:`repro.ml`      — RF, SVM-RBF, RUSBoost, MLPs, metrics, Tree SHAP;
 * :mod:`repro.core`    — the paper's workflow: flow, Table II protocol,
   per-hotspot SHAP explanations;
+* :mod:`repro.runtime` — fault-tolerant runtime: checkpoints, retries,
+  validation guards, fault injection;
 * :mod:`repro.analysis`— curves, threshold sweeps, calibration, SHAP
   summaries, what-if interventions, reports.
 
@@ -26,7 +28,7 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import analysis, bench, core, drc, features, layout, ml, place, route  # noqa: F401
+from . import analysis, bench, core, drc, features, layout, ml, place, route, runtime  # noqa: F401
 
 __all__ = [
     "analysis",
@@ -38,5 +40,6 @@ __all__ = [
     "ml",
     "place",
     "route",
+    "runtime",
     "__version__",
 ]

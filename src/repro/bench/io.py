@@ -4,10 +4,18 @@ Designs contain cyclic references (pin ↔ net) and are moderately large, so we
 persist them with :mod:`pickle` at the highest protocol.  Flow artefacts that
 are pure arrays (feature matrices, labels, congestion maps) are stored as
 compressed ``.npz`` by :mod:`repro.features.dataset` instead.
+
+Writes are atomic (temp file + ``os.replace``) and loads raise a single
+typed :class:`~repro.runtime.errors.CacheCorruptionError` — instead of bare
+``EOFError``/``KeyError``/``UnpicklingError`` — on truncated, non-artefact,
+or version-mismatched payloads, so callers can uniformly invalidate and
+regenerate.
 """
 
 from __future__ import annotations
 
+import io
+import os
 import pickle
 import sys
 from contextlib import contextmanager
@@ -15,6 +23,7 @@ from pathlib import Path
 from typing import Any
 
 from ..layout.netlist import Design
+from ..runtime.errors import CacheCorruptionError
 
 #: Bump when the on-disk layout of pickled artefacts changes.
 FORMAT_VERSION = 1
@@ -33,47 +42,66 @@ def _deep_recursion(limit: int = 100_000):
         sys.setrecursionlimit(old)
 
 
+def _atomic_dump(payload: dict, path: Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    buf = io.BytesIO()
+    with _deep_recursion():
+        pickle.dump(payload, buf, protocol=pickle.HIGHEST_PROTOCOL)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_bytes(buf.getvalue())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _load_payload(path: Path) -> dict:
+    try:
+        with _deep_recursion(), open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (EOFError, pickle.UnpicklingError, AttributeError, IndexError) as exc:
+        raise CacheCorruptionError(
+            f"{path}: truncated or corrupted pickle artefact ({exc})"
+        ) from exc
+    _check_version(payload, path)
+    return payload
+
+
 def save_design(design: Design, path: str | Path) -> Path:
     """Pickle a design (placed or not) to ``path``; returns the path."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"version": FORMAT_VERSION, "design": design}
-    with _deep_recursion(), open(path, "wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    _atomic_dump({"version": FORMAT_VERSION, "design": design}, path)
     return path
 
 
 def load_design(path: str | Path) -> Design:
     """Load a design pickled by :func:`save_design`."""
-    with _deep_recursion(), open(path, "rb") as fh:
-        payload = pickle.load(fh)
-    _check_version(payload, path)
+    payload = _load_payload(Path(path))
+    if "design" not in payload:
+        raise CacheCorruptionError(f"{path}: artefact holds no design")
     return payload["design"]
 
 
 def save_artifact(obj: Any, path: str | Path) -> Path:
     """Pickle an arbitrary flow artefact (e.g. a FlowResult)."""
     path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    payload = {"version": FORMAT_VERSION, "artifact": obj}
-    with _deep_recursion(), open(path, "wb") as fh:
-        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    _atomic_dump({"version": FORMAT_VERSION, "artifact": obj}, path)
     return path
 
 
 def load_artifact(path: str | Path) -> Any:
     """Load an artefact pickled by :func:`save_artifact`."""
-    with _deep_recursion(), open(path, "rb") as fh:
-        payload = pickle.load(fh)
-    _check_version(payload, path)
+    payload = _load_payload(Path(path))
+    if "artifact" not in payload:
+        raise CacheCorruptionError(f"{path}: artefact payload missing")
     return payload["artifact"]
 
 
 def _check_version(payload: Any, path: str | Path) -> None:
     if not isinstance(payload, dict) or "version" not in payload:
-        raise ValueError(f"{path}: not a repro artefact")
+        raise CacheCorruptionError(f"{path}: not a repro artefact")
     if payload["version"] != FORMAT_VERSION:
-        raise ValueError(
+        raise CacheCorruptionError(
             f"{path}: artefact format {payload['version']} != {FORMAT_VERSION}; "
             "regenerate with the current code"
         )

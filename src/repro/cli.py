@@ -13,7 +13,11 @@ Commands
 ``features``   List the 387 canonical feature names.
 
 All heavy commands accept ``--cache`` (default on) so the 14-design flow
-runs only once per scale.
+runs only once per scale, plus the resilience flags ``--resume/--no-resume``,
+``--max-retries``, ``--retry-backoff``, ``--timeout`` and ``--fail-fast``
+(see :mod:`repro.runtime`).  Exit codes: 0 success, 1 runtime error, 2 usage
+error, 3 completed but degraded (some units failed and were skipped; the
+failure log is printed to stderr).
 """
 
 from __future__ import annotations
@@ -30,11 +34,51 @@ from .core.models import model_zoo
 from .core.pipeline import build_suite_dataset, default_cache_path, run_flow
 from .features.names import describe_feature, feature_names
 from .layout.design_stats import format_table1, group_statistics
+from .runtime import FaultTolerantRunner, ReproRuntimeError, RetryPolicy
+
+#: Exit code when a run finished but some units failed and were skipped.
+EXIT_DEGRADED = 3
+
+
+def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--no-resume", dest="resume", action="store_false",
+                   help="ignore existing checkpoints; recompute every unit")
+    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+                   help="retry budget per unit (default 0)")
+    p.add_argument("--retry-backoff", type=float, default=1.0, metavar="SEC",
+                   help="base of the exponential retry backoff (default 1s)")
+    p.add_argument("--timeout", type=float, default=None, metavar="SEC",
+                   help="wall-clock budget per unit attempt (default none)")
+    p.add_argument("--fail-fast", action="store_true",
+                   help="abort on the first permanently failed unit instead "
+                        "of recording + skipping it")
+
+
+def _runner_from_args(args: argparse.Namespace) -> FaultTolerantRunner:
+    policy = RetryPolicy(
+        max_retries=args.max_retries,
+        backoff_base_s=args.retry_backoff if args.max_retries else 0.0,
+        timeout_s=args.timeout,
+    )
+    return FaultTolerantRunner(policy, fail_fast=args.fail_fast, verbose=True)
+
+
+def _report_failures(runner: FaultTolerantRunner) -> int:
+    """Print the failure log to stderr; exit degraded if anything failed."""
+    if runner.failures:
+        print(f"\nwarning: degraded run — {runner.failures.summary()}",
+              file=sys.stderr)
+        return EXIT_DEGRADED
+    return 0
 
 
 def _suite(args: argparse.Namespace) -> int:
     cache = default_cache_path(args.scale) if args.cache else None
-    suite, stats = build_suite_dataset(args.scale, cache_path=cache, verbose=True)
+    runner = _runner_from_args(args)
+    suite, stats = build_suite_dataset(
+        args.scale, cache_path=cache, verbose=True,
+        runner=runner, resume=args.resume,
+    )
     by_name = {s.name: s for s in stats}
     rows = []
     for group_name, members in GROUPS.items():
@@ -42,12 +86,15 @@ def _suite(args: argparse.Namespace) -> int:
         rows.append((group_statistics(group_name, member_stats), member_stats))
     print(format_table1(rows))
     print(f"\nTotal samples: {suite.num_samples}")
-    return 0
+    return _report_failures(runner)
 
 
 def _table2(args: argparse.Namespace) -> int:
     cache = default_cache_path(args.scale) if args.cache else None
-    suite, _ = build_suite_dataset(args.scale, cache_path=cache)
+    runner = _runner_from_args(args)
+    suite, _ = build_suite_dataset(
+        args.scale, cache_path=cache, runner=runner, resume=args.resume
+    )
     models = model_zoo(args.preset)
     if args.models:
         wanted = set(args.models.split(","))
@@ -55,13 +102,21 @@ def _table2(args: argparse.Namespace) -> int:
         if not models:
             print(f"no models match {args.models!r}", file=sys.stderr)
             return 2
-    result = run_experiment(suite, models, tune=True, verbose=True)
+    ckpt = (
+        cache.with_suffix(f".table2-{args.preset}.ckpt")
+        if cache is not None
+        else None
+    )
+    result = run_experiment(
+        suite, models, tune=True, verbose=True,
+        runner=runner, checkpoint_dir=ckpt, resume=args.resume,
+    )
     print()
     print(format_table2(result))
     print()
     for k, v in summarize_shape(result).items():
         print(f"{k}: {v}")
-    return 0
+    return _report_failures(runner)
 
 
 def _explain(args: argparse.Namespace) -> int:
@@ -136,6 +191,7 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("suite", help="run the 14-design flow; print Table I")
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--no-cache", dest="cache", action="store_false")
+    _add_resilience_flags(p)
     p.set_defaults(func=_suite)
 
     p = sub.add_parser("table2", help="model comparison (Table II)")
@@ -143,6 +199,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--preset", choices=("fast", "full"), default="fast")
     p.add_argument("--models", help="comma-separated subset, e.g. RF,SVM-RBF")
     p.add_argument("--no-cache", dest="cache", action="store_false")
+    _add_resilience_flags(p)
     p.set_defaults(func=_table2)
 
     p = sub.add_parser("explain", help="explain hotspots of one design")
@@ -174,7 +231,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(func=_features)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproRuntimeError as exc:
+        print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -11,6 +11,15 @@ For every one of the 5 groups (Table I):
    FPR* = 0.5 %); designs with zero hotspots are skipped, like the paper's
    footnote 3.
 
+Designs carrying the ad-hoc sentinel group (< 0, see
+:data:`repro.core.pipeline.ADHOC_GROUP`) never form a test fold and are kept
+out of training stacks, so stray designs cannot leak into the protocol.
+
+Each (model, group) pair is one *unit* of the fault-tolerant runtime: it is
+retried/skipped per the runner's policy, validated (NaN/Inf/shape guards)
+before fit and predict, and — when a ``checkpoint_dir`` is given — its
+scores are checkpointed so an interrupted grid resumes where it stopped.
+
 The result object carries everything Table II reports: per-design metric
 rows, per-model averages and winning-design counts, #parameters,
 #prediction operations, and training/prediction CPU time.
@@ -20,6 +29,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -29,6 +39,10 @@ from ..ml.complexity import complexity_of
 from ..ml.metrics import EvaluationResult, evaluate_scores
 from ..ml.model_selection import grid_search, positive_scores
 from ..ml.scaling import StandardScaler
+from ..runtime.checkpoint import CheckpointStore
+from ..runtime.errors import CacheCorruptionError
+from ..runtime.runner import FaultTolerantRunner
+from ..runtime.validation import validate_features
 from .models import ModelSpec
 
 
@@ -100,15 +114,191 @@ class ExperimentResult:
         return tuple(wins)  # type: ignore[return-value]
 
 
+@dataclass
+class GroupUnitResult:
+    """Output of one (model, group) unit — everything the aggregation needs."""
+
+    group: int
+    params: dict[str, Any]
+    train_minutes: float
+    predict_minutes: float
+    num_parameters: float
+    prediction_ops: float
+    n_pred_designs: int
+    scores: list[DesignScore]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "group": self.group,
+            "params": self.params,
+            "train_minutes": self.train_minutes,
+            "predict_minutes": self.predict_minutes,
+            "num_parameters": self.num_parameters,
+            "prediction_ops": self.prediction_ops,
+            "n_pred_designs": self.n_pred_designs,
+            "scores": [
+                {"design": s.design, "model": s.model, **_metrics_to_json(s.metrics)}
+                for s in self.scores
+            ],
+        }
+
+    @staticmethod
+    def from_json(doc: dict[str, Any]) -> "GroupUnitResult":
+        try:
+            return GroupUnitResult(
+                group=int(doc["group"]),
+                params=dict(doc["params"]),
+                train_minutes=float(doc["train_minutes"]),
+                predict_minutes=float(doc["predict_minutes"]),
+                num_parameters=float(doc["num_parameters"]),
+                prediction_ops=float(doc["prediction_ops"]),
+                n_pred_designs=int(doc["n_pred_designs"]),
+                scores=[
+                    DesignScore(
+                        design=row["design"],
+                        model=row["model"],
+                        metrics=_metrics_from_json(row),
+                    )
+                    for row in doc["scores"]
+                ],
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CacheCorruptionError("malformed experiment checkpoint") from exc
+
+
+_METRIC_FIELDS = (
+    "tpr_star", "prec_star", "a_prc", "a_roc", "num_samples", "num_positives",
+)
+
+
+def _metrics_to_json(m: EvaluationResult) -> dict[str, Any]:
+    return {f: getattr(m, f) for f in _METRIC_FIELDS}
+
+
+def _metrics_from_json(row: dict[str, Any]) -> EvaluationResult:
+    return EvaluationResult(
+        tpr_star=float(row["tpr_star"]),
+        prec_star=float(row["prec_star"]),
+        a_prc=float(row["a_prc"]),
+        a_roc=float(row["a_roc"]),
+        num_samples=int(row["num_samples"]),
+        num_positives=int(row["num_positives"]),
+    )
+
+
+def _fit_and_score_group(
+    suite: SuiteDataset,
+    spec: ModelSpec,
+    g: int,
+    target_fpr: float,
+    tune: bool,
+    verbose: bool,
+) -> GroupUnitResult | None:
+    """Train/tune on everything but group ``g`` and score its designs.
+
+    Returns ``None`` when the training stack holds no positives (the unit is
+    skipped, not failed).
+    """
+    adhoc = tuple({d.group for d in suite.designs if d.group < 0})
+    X_train, y_train, train_groups = suite.stacked(exclude_groups=(g, *adhoc))
+    test_designs = [d for d in suite.designs if d.group == g]
+    if y_train.sum() == 0:
+        return None
+    validate_features(X_train, y_train, name=f"{spec.name}/train-g{g}")
+
+    scaler: StandardScaler | None = None
+    if spec.needs_scaling:
+        scaler = StandardScaler().fit(X_train)
+        X_fit = scaler.transform(X_train)
+    else:
+        X_fit = X_train
+
+    params: dict[str, Any] = {}
+    t0 = time.process_time()
+    if tune and spec.param_grid:
+        search = grid_search(spec.factory, spec.param_grid, X_fit, y_train, train_groups)
+        params = search.best_params
+    model = spec.factory(**params)
+    model.fit(X_fit, y_train)
+    train_minutes = (time.process_time() - t0) / 60.0
+
+    # complexity on this group's model (averaged at the end);
+    # custom estimators without a complexity model count as zero
+    num_parameters = prediction_ops = 0.0
+    X_ref = X_fit[: min(len(X_fit), 2048)]
+    try:
+        report = complexity_of(model, X_ref, spec.name)
+    except TypeError:
+        report = None
+    if report is not None:
+        num_parameters = report.num_parameters
+        prediction_ops = report.prediction_ops_per_sample
+
+    scores: list[DesignScore] = []
+    predict_minutes = 0.0
+    n_pred_designs = 0
+    for d in test_designs:
+        if d.num_hotspots == 0 or d.num_hotspots == d.num_samples:
+            continue  # metrics undefined (paper footnote 3)
+        validate_features(d.X, d.y, name=f"{spec.name}/test-{d.name}")
+        X_test = scaler.transform(d.X) if scaler is not None else d.X
+        t0 = time.process_time()
+        s = positive_scores(model, X_test)
+        predict_minutes += (time.process_time() - t0) / 60.0
+        n_pred_designs += 1
+        scores.append(
+            DesignScore(
+                design=d.name,
+                model=spec.name,
+                metrics=evaluate_scores(d.y, s, target_fpr),
+            )
+        )
+        if verbose:
+            m = scores[-1].metrics
+            print(
+                f"  {spec.name:<9s} {d.name:<12s} TPR*={m.tpr_star:.4f} "
+                f"Prec*={m.prec_star:.4f} A_prc={m.a_prc:.4f}",
+                flush=True,
+            )
+
+    return GroupUnitResult(
+        group=g,
+        params=params,
+        train_minutes=train_minutes,
+        predict_minutes=predict_minutes,
+        num_parameters=num_parameters,
+        prediction_ops=prediction_ops,
+        n_pred_designs=n_pred_designs,
+        scores=scores,
+    )
+
+
 def run_experiment(
     suite: SuiteDataset,
     models: list[ModelSpec],
     target_fpr: float = 0.005,
     tune: bool = True,
     verbose: bool = False,
+    *,
+    runner: FaultTolerantRunner | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
 ) -> ExperimentResult:
-    """Run the full leave-one-group-out protocol for every model."""
-    groups_present = sorted({d.group for d in suite.designs})
+    """Run the full leave-one-group-out protocol for every model.
+
+    Every (model, group) pair runs as one fault-tolerant unit under
+    ``runner`` (default: fail-fast).  With a non-fail-fast runner a failing
+    unit is recorded in ``runner.failures`` and its group is skipped for that
+    model, degrading Table II instead of aborting it.  With a
+    ``checkpoint_dir``, finished units are checkpointed and a re-invocation
+    resumes from them.
+    """
+    if runner is None:
+        runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+
+    # ad-hoc sentinel groups (< 0) never form a test fold
+    groups_present = sorted({d.group for d in suite.designs if d.group >= 0})
     scores: list[DesignScore] = []
     run_stats: list[ModelRunStats] = []
 
@@ -117,64 +307,36 @@ def run_experiment(
         n_models = 0
         n_pred_designs = 0
         for g in groups_present:
-            X_train, y_train, train_groups = suite.stacked(exclude_groups=(g,))
-            test_designs = [d for d in suite.designs if d.group == g]
-            if y_train.sum() == 0:
-                continue
-
-            scaler: StandardScaler | None = None
-            if spec.needs_scaling:
-                scaler = StandardScaler().fit(X_train)
-                X_fit = scaler.transform(X_train)
-            else:
-                X_fit = X_train
-
-            params: dict[str, Any] = {}
-            t0 = time.process_time()
-            if tune and spec.param_grid:
-                search = grid_search(
-                    spec.factory, spec.param_grid, X_fit, y_train, train_groups
+            key = f"{spec.name}__g{g}.json"
+            unit: GroupUnitResult | None = None
+            if store is not None and resume and store.has(key):
+                try:
+                    unit = GroupUnitResult.from_json(store.load_json(key))
+                except CacheCorruptionError:
+                    store.invalidate(key)
+            if unit is None:
+                outcome = runner.run_unit(
+                    "experiment",
+                    f"{spec.name}__g{g}",
+                    _fit_and_score_group,
+                    suite, spec, g, target_fpr, tune, verbose,
                 )
-                params = search.best_params
-            model = spec.factory(**params)
-            model.fit(X_fit, y_train)
-            stats.train_minutes += (time.process_time() - t0) / 60.0
-            stats.best_params_per_group[g] = params
+                if not outcome.ok:
+                    continue  # recorded in runner.failures; degrade Table II
+                unit = outcome.value
+                if unit is None:
+                    continue  # no positives in the training stack
+                if store is not None:
+                    store.save_json(key, unit.to_json())
+
+            stats.train_minutes += unit.train_minutes
+            stats.predict_minutes_per_design += unit.predict_minutes
+            stats.best_params_per_group[g] = unit.params
+            stats.num_parameters += unit.num_parameters
+            stats.prediction_ops += unit.prediction_ops
             n_models += 1
-
-            # complexity on this group's model (averaged at the end);
-            # custom estimators without a complexity model count as zero
-            X_ref = X_fit[: min(len(X_fit), 2048)]
-            try:
-                report = complexity_of(model, X_ref, spec.name)
-            except TypeError:
-                report = None
-            if report is not None:
-                stats.num_parameters += report.num_parameters
-                stats.prediction_ops += report.prediction_ops_per_sample
-
-            for d in test_designs:
-                if d.num_hotspots == 0 or d.num_hotspots == d.num_samples:
-                    continue  # metrics undefined (paper footnote 3)
-                X_test = scaler.transform(d.X) if scaler is not None else d.X
-                t0 = time.process_time()
-                s = positive_scores(model, X_test)
-                stats.predict_minutes_per_design += (time.process_time() - t0) / 60.0
-                n_pred_designs += 1
-                scores.append(
-                    DesignScore(
-                        design=d.name,
-                        model=spec.name,
-                        metrics=evaluate_scores(d.y, s, target_fpr),
-                    )
-                )
-                if verbose:
-                    m = scores[-1].metrics
-                    print(
-                        f"  {spec.name:<9s} {d.name:<12s} TPR*={m.tpr_star:.4f} "
-                        f"Prec*={m.prec_star:.4f} A_prc={m.a_prc:.4f}",
-                        flush=True,
-                    )
+            n_pred_designs += unit.n_pred_designs
+            scores.extend(unit.scores)
 
         if n_models:
             stats.num_parameters /= n_models
@@ -190,7 +352,7 @@ def run_experiment(
         design_order=[
             d.name
             for d in suite.designs
-            if 0 < d.num_hotspots < d.num_samples
+            if d.group >= 0 and 0 < d.num_hotspots < d.num_samples
         ],
         model_order=[m.name for m in models],
         target_fpr=target_fpr,

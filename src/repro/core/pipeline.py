@@ -11,13 +11,24 @@ grid and placement maps (explanations, Fig. 3 congestion pictures), the DRC
 report (validation of explanations), and the Table I statistics row.
 
 ``build_suite_dataset`` runs the whole 14-design suite and assembles the
-grouped :class:`~repro.features.dataset.SuiteDataset`, with an ``.npz``
-cache so repeated benchmark runs skip the flow.
+grouped :class:`~repro.features.dataset.SuiteDataset`.  The suite builder is
+fault-tolerant and resumable (see :mod:`repro.runtime`):
+
+* every completed design flow is checkpointed (atomic write + SHA-256
+  checksum) under ``<cache>.ckpt/``, so an interrupted run re-runs only the
+  designs that never finished;
+* the final ``.npz`` cache and its ``.stats.json`` sidecar are written
+  atomically, checksummed, and invalidated *as a pair* — a torn or corrupted
+  cache is rebuilt (cheaply, from checkpoints) instead of loaded;
+* a failing design can degrade the suite (recorded in the runner's failure
+  log and skipped, like the paper's footnote-3 designs) instead of killing
+  the run, when the caller passes a non-``fail_fast`` runner.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -31,12 +42,27 @@ from ..drc.detailed import DRCSimConfig, simulate_drc
 from ..drc.labels import hotspot_labels
 from ..features.dataset import DesignDataset, SuiteDataset
 from ..features.extractor import extract_features
+from ..features.names import NUM_FEATURES
 from ..layout.design_stats import DesignStats, design_statistics
 from ..layout.grid import GCellGrid
 from ..layout.netlist import Design
 from ..layout.placemap import PlacementMaps
 from ..place.placer import PlacerConfig, place_design
 from ..route.router import RouterConfig, RoutingResult, route_design
+from ..runtime.checkpoint import CheckpointStore, atomic_write_text, sha256_of
+from ..runtime.errors import CacheCorruptionError, StageFailure, ValidationError
+from ..runtime.runner import FaultTolerantRunner
+from ..runtime.validation import validate_features
+
+#: Group index assigned to ad-hoc designs outside the named 14-design suite.
+#: Negative on purpose: leave-one-group-out never forms a test fold for it
+#: (see :func:`repro.core.experiment.run_experiment`).
+ADHOC_GROUP = -1
+
+#: Version stamp of the suite cache pair (.npz + .stats.json sidecar).
+#: v2: sidecar became ``{"format_version", "npz_sha256", "stats"}`` (the v1
+#: sidecar was a bare stats list with no integrity information).
+CACHE_FORMAT_VERSION = 2
 
 
 @dataclass
@@ -69,7 +95,7 @@ def _safe_group(name: str) -> int:
     try:
         return group_index_of(name)
     except KeyError:
-        return 0  # ad-hoc designs outside the named suite
+        return ADHOC_GROUP  # sentinel: never a leave-one-group-out test fold
 
 
 def run_flow(
@@ -130,33 +156,196 @@ _STATS_FIELDS = (
 )
 
 
+def _stats_to_dict(s: DesignStats) -> dict:
+    return {f: getattr(s, f) for f in _STATS_FIELDS}
+
+
+# -- per-design checkpoints ---------------------------------------------------------
+
+
+def checkpoint_dir_for(cache_path: str | Path) -> Path:
+    """Checkpoint store directory paired with a suite cache file."""
+    return Path(cache_path).with_suffix(".ckpt")
+
+
+def _save_design_checkpoint(store: CheckpointStore, result: FlowResult) -> None:
+    d = result.dataset
+    store.save_arrays(
+        f"{d.name}.npz",
+        X=d.X.astype(np.float32),  # compact on disk, like the suite cache
+        y=d.y.astype(np.int8),
+        meta=np.array(
+            json.dumps(
+                {
+                    "group": d.group,
+                    "grid_nx": d.grid_nx,
+                    "grid_ny": d.grid_ny,
+                    "stats": _stats_to_dict(result.stats),
+                }
+            )
+        ),
+    )
+
+
+def _load_design_checkpoint(
+    store: CheckpointStore, name: str
+) -> tuple[DesignDataset, DesignStats]:
+    """Load one design's checkpoint; raises CacheCorruptionError when unsound."""
+    arrays = store.load_arrays(f"{name}.npz")
+    try:
+        meta = json.loads(str(arrays["meta"][()]))
+        dataset = DesignDataset(
+            name=name,
+            group=int(meta["group"]),
+            X=arrays["X"].astype(np.float64),
+            y=arrays["y"].astype(np.int8),
+            grid_nx=int(meta["grid_nx"]),
+            grid_ny=int(meta["grid_ny"]),
+        )
+        stats = DesignStats(**meta["stats"])
+    except (KeyError, TypeError, ValueError, json.JSONDecodeError) as exc:
+        raise CacheCorruptionError(f"{name}: malformed checkpoint payload") from exc
+    validate_features(dataset.X, dataset.y, name=name, expect_features=NUM_FEATURES)
+    return dataset, stats
+
+
+# -- suite cache pair (.npz + .stats.json) ------------------------------------------
+
+
+def _invalidate_cache_pair(cache_path: Path, sidecar: Path) -> None:
+    cache_path.unlink(missing_ok=True)
+    sidecar.unlink(missing_ok=True)
+
+
+def _load_suite_cache(
+    cache_path: Path, sidecar: Path
+) -> tuple[SuiteDataset, list[DesignStats]] | None:
+    """Load a cache pair if both halves exist and pass integrity checks.
+
+    Any torn, legacy-format, or corrupted state invalidates the *pair*
+    (both files removed) and returns ``None`` so the caller rebuilds.
+    """
+    if not (cache_path.exists() and sidecar.exists()):
+        if cache_path.exists() or sidecar.exists():
+            _invalidate_cache_pair(cache_path, sidecar)  # half a pair is no pair
+        return None
+    try:
+        doc = json.loads(sidecar.read_text())
+        if (
+            not isinstance(doc, dict)
+            or doc.get("format_version") != CACHE_FORMAT_VERSION
+        ):
+            raise CacheCorruptionError(f"{sidecar}: legacy or unknown cache format")
+        if sha256_of(cache_path) != doc.get("npz_sha256"):
+            raise CacheCorruptionError(f"{cache_path}: checksum mismatch")
+        suite = SuiteDataset.load(cache_path)
+        for d in suite.designs:
+            validate_features(d.X, d.y, name=d.name, expect_features=NUM_FEATURES)
+        stats = [DesignStats(**row) for row in doc["stats"]]
+    except (
+        CacheCorruptionError,
+        ValidationError,
+        OSError,
+        ValueError,
+        KeyError,
+        TypeError,
+        json.JSONDecodeError,
+    ):
+        _invalidate_cache_pair(cache_path, sidecar)
+        return None
+    return suite, stats
+
+
+def _write_suite_cache(
+    cache_path: Path, sidecar: Path, suite: SuiteDataset, stats: list[DesignStats]
+) -> None:
+    """Atomically write the cache pair: npz first, then the checksummed sidecar."""
+    cache_path.parent.mkdir(parents=True, exist_ok=True)
+    # temp name keeps the .npz suffix — np.savez appends one otherwise
+    tmp = cache_path.with_name(f".{cache_path.stem}.tmp{os.getpid()}.npz")
+    try:
+        suite.save(tmp)
+        os.replace(tmp, cache_path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    atomic_write_text(
+        sidecar,
+        json.dumps(
+            {
+                "format_version": CACHE_FORMAT_VERSION,
+                "npz_sha256": sha256_of(cache_path),
+                "stats": [_stats_to_dict(s) for s in stats],
+            }
+        ),
+    )
+
+
+# -- the resumable suite builder ----------------------------------------------------
+
+
 def build_suite_dataset(
     scale: float = 1.0,
     cache_path: str | Path | None = None,
     verbose: bool = False,
+    *,
+    runner: FaultTolerantRunner | None = None,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = True,
 ) -> tuple[SuiteDataset, list[DesignStats]]:
-    """Run (or load) the complete 14-design suite.
+    """Run (or load, or resume) the complete 14-design suite.
 
-    When ``cache_path`` is given and exists, the dataset and stats sidecar
-    are loaded instead of re-running the flow; otherwise the flow runs and
-    the cache is written.
+    When ``cache_path`` is given and holds a valid cache pair, the dataset
+    and stats are loaded with checksum verification.  Otherwise designs run
+    one by one under ``runner`` (default: fail-fast, no retries); each
+    finished design is checkpointed under ``checkpoint_dir`` (default:
+    ``<cache_path>.ckpt``) so a re-invocation after an interrupt re-runs only
+    the unfinished flows.  With a non-fail-fast runner, a permanently failing
+    design is recorded in ``runner.failures`` and skipped; the degraded suite
+    is returned but the shared cache pair is only written when all designs
+    succeeded.
     """
+    sidecar: Path | None = None
     if cache_path is not None:
         cache_path = Path(cache_path)
         sidecar = cache_path.with_suffix(".stats.json")
-        if cache_path.exists() and sidecar.exists():
-            suite = SuiteDataset.load(cache_path)
-            stats = [
-                DesignStats(**row) for row in json.loads(sidecar.read_text())
-            ]
-            return suite, stats
+        cached = _load_suite_cache(cache_path, sidecar)
+        if cached is not None:
+            return cached
+
+    if runner is None:
+        runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
+    if checkpoint_dir is None and cache_path is not None:
+        checkpoint_dir = checkpoint_dir_for(cache_path)
+    store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
 
     datasets: list[DesignDataset] = []
     stats: list[DesignStats] = []
     for recipe in suite_recipes(scale):
-        result = run_flow(recipe)
+        key = f"{recipe.name}.npz"
+        if store is not None and resume and store.has(key):
+            try:
+                dataset, srow = _load_design_checkpoint(store, recipe.name)
+                datasets.append(dataset)
+                stats.append(srow)
+                if verbose:
+                    print(f"  {recipe.name:<12s} resumed from checkpoint", flush=True)
+                continue
+            except (CacheCorruptionError, ValidationError) as exc:
+                store.invalidate(key)
+                if verbose:
+                    print(f"  {recipe.name:<12s} checkpoint invalid ({exc}); re-running",
+                          flush=True)
+
+        outcome = runner.run_unit("flow", recipe.name, run_flow, recipe)
+        if not outcome.ok:
+            continue  # recorded in runner.failures; degrade the suite
+        result: FlowResult = outcome.value
+        validate_features(result.X, result.y, name=recipe.name,
+                          expect_features=NUM_FEATURES)
         datasets.append(result.dataset)
         stats.append(result.stats)
+        if store is not None:
+            _save_design_checkpoint(store, result)
         if verbose:
             print(
                 f"  {recipe.name:<12s} {result.stats.num_gcells:>6d} g-cells "
@@ -165,13 +354,13 @@ def build_suite_dataset(
                 flush=True,
             )
 
+    if not datasets:
+        raise StageFailure("flow", "suite", 1, "every design in the suite failed")
+
     suite = SuiteDataset(datasets)
-    if cache_path is not None:
-        suite.save(cache_path)
-        sidecar = Path(cache_path).with_suffix(".stats.json")
-        sidecar.write_text(
-            json.dumps([{f: getattr(s, f) for f in _STATS_FIELDS} for s in stats])
-        )
+    complete = not runner.failures
+    if cache_path is not None and sidecar is not None and complete:
+        _write_suite_cache(cache_path, sidecar, suite, stats)
     return suite, stats
 
 

@@ -1,0 +1,52 @@
+"""Fault-tolerant flow runtime: checkpoints, retries, validation, faults.
+
+The paper's protocol (Sec. IV) is an hours-scale pipeline — 14 design flows
+feeding a 5-group leave-one-group-out grid search.  This package makes every
+long-running path resumable and failure-isolated:
+
+* :mod:`repro.runtime.checkpoint` — atomic write-temp-then-rename persistence
+  with SHA-256 content checksums and format-version stamping;
+* :mod:`repro.runtime.runner` — per-unit try/except isolation, retry with
+  backoff, wall-clock timeouts, and a structured failure log;
+* :mod:`repro.runtime.validation` — NaN/Inf/shape/dtype guards on feature
+  matrices and label vectors;
+* :mod:`repro.runtime.errors` — the typed error taxonomy
+  (:class:`CacheCorruptionError`, :class:`StageFailure`,
+  :class:`ValidationError`);
+* :mod:`repro.runtime.faults` — a deterministic fault-injection hook so the
+  whole machinery is testable in CI.
+"""
+
+from .checkpoint import CHECKPOINT_FORMAT_VERSION, CheckpointStore, atomic_write_bytes, sha256_of
+from .errors import (
+    CacheCorruptionError,
+    FaultInjected,
+    ReproRuntimeError,
+    StageFailure,
+    StageTimeout,
+    ValidationError,
+)
+from .faults import FaultSpec, inject_faults
+from .runner import FailureLog, FailureRecord, FaultTolerantRunner, RetryPolicy, UnitOutcome
+from .validation import validate_features
+
+__all__ = [
+    "CHECKPOINT_FORMAT_VERSION",
+    "CacheCorruptionError",
+    "CheckpointStore",
+    "FailureLog",
+    "FailureRecord",
+    "FaultInjected",
+    "FaultSpec",
+    "FaultTolerantRunner",
+    "ReproRuntimeError",
+    "RetryPolicy",
+    "StageFailure",
+    "StageTimeout",
+    "UnitOutcome",
+    "ValidationError",
+    "atomic_write_bytes",
+    "inject_faults",
+    "sha256_of",
+    "validate_features",
+]

@@ -1,0 +1,203 @@
+"""Checkpoint store: atomic, checksummed, version-stamped artefact persistence.
+
+A :class:`CheckpointStore` manages a flat directory of artefact files plus a
+``manifest.json`` recording, per key, the SHA-256 of the payload and the
+store format version.  All writes go through write-temp-then-``os.replace``
+so an interrupt can never leave a half-written payload *and* a manifest entry
+claiming it is complete: the manifest is only updated after the payload
+rename, and a payload whose bytes don't match the manifest checksum is
+rejected as :class:`~repro.runtime.errors.CacheCorruptionError` on load.
+
+Layout of a store rooted at ``suite_scale1.ckpt/``::
+
+    suite_scale1.ckpt/
+        manifest.json          {"format_version": 2, "entries": {key: {...}}}
+        des_perf_b.npz         one payload file per checkpoint key
+        des_perf_b.stats.json
+        ...
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+from pathlib import Path
+from typing import Any, Iterator
+
+import numpy as np
+
+from . import faults
+from .errors import CacheCorruptionError
+
+#: Bump when the on-disk layout of checkpoints changes; old stores are
+#: invalidated wholesale rather than migrated.
+CHECKPOINT_FORMAT_VERSION = 2
+
+_KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._\-]*$")
+
+
+def sha256_bytes(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_of(path: str | Path, chunk: int = 1 << 20) -> str:
+    """SHA-256 hex digest of a file, streamed."""
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                break
+            h.update(block)
+    return h.hexdigest()
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    try:
+        tmp.write_bytes(data)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+class CheckpointStore:
+    """A directory of checksummed checkpoint artefacts keyed by filename."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.manifest_path = self.root / "manifest.json"
+
+    # -- manifest -----------------------------------------------------------------
+
+    def _read_manifest(self) -> dict[str, dict[str, Any]]:
+        if not self.manifest_path.exists():
+            return {}
+        try:
+            doc = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}  # torn manifest: treat the whole store as empty
+        if not isinstance(doc, dict) or doc.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            return {}  # older/newer store layout: invalidate wholesale
+        entries = doc.get("entries")
+        return entries if isinstance(entries, dict) else {}
+
+    def _write_manifest(self, entries: dict[str, dict[str, Any]]) -> None:
+        atomic_write_text(
+            self.manifest_path,
+            json.dumps(
+                {"format_version": CHECKPOINT_FORMAT_VERSION, "entries": entries},
+                indent=0,
+                sort_keys=True,
+            ),
+        )
+
+    # -- primitives ---------------------------------------------------------------
+
+    def _path_of(self, key: str) -> Path:
+        if not _KEY_RE.match(key):
+            raise ValueError(f"invalid checkpoint key {key!r}")
+        return self.root / key
+
+    def save_bytes(self, key: str, data: bytes) -> Path:
+        """Atomically persist ``data`` under ``key`` and record its checksum.
+
+        The checksum is computed from the in-memory payload *before* the
+        fault-injection corruption hook runs, so injected (or real) post-write
+        corruption is caught by the next :meth:`load_bytes`.
+        """
+        path = self._path_of(key)
+        checksum = sha256_bytes(data)
+        atomic_write_bytes(path, data)
+        faults.corrupt_artifact(f"checkpoint/{key}", path)
+        entries = self._read_manifest()
+        entries[key] = {
+            "sha256": checksum,
+            "format_version": CHECKPOINT_FORMAT_VERSION,
+            "size": len(data),
+        }
+        self._write_manifest(entries)
+        return path
+
+    def load_bytes(self, key: str) -> bytes:
+        """Load and checksum-verify the payload stored under ``key``."""
+        path = self._path_of(key)
+        entry = self._read_manifest().get(key)
+        if entry is None:
+            raise CacheCorruptionError(f"{path}: no manifest entry for {key!r}")
+        if entry.get("format_version") != CHECKPOINT_FORMAT_VERSION:
+            raise CacheCorruptionError(
+                f"{path}: checkpoint format {entry.get('format_version')} != "
+                f"{CHECKPOINT_FORMAT_VERSION}; regenerate with the current code"
+            )
+        try:
+            data = path.read_bytes()
+        except OSError as exc:
+            raise CacheCorruptionError(f"{path}: unreadable checkpoint") from exc
+        if sha256_bytes(data) != entry.get("sha256"):
+            raise CacheCorruptionError(f"{path}: checksum mismatch (corrupted checkpoint)")
+        return data
+
+    # -- typed convenience layers -------------------------------------------------
+
+    def save_arrays(self, key: str, **arrays: np.ndarray) -> Path:
+        buf = io.BytesIO()
+        np.savez_compressed(buf, **arrays)
+        return self.save_bytes(key, buf.getvalue())
+
+    def load_arrays(self, key: str) -> dict[str, np.ndarray]:
+        buf = io.BytesIO(self.load_bytes(key))
+        try:
+            with np.load(buf, allow_pickle=False) as data:
+                return {name: data[name] for name in data.files}
+        except (ValueError, OSError, EOFError) as exc:
+            raise CacheCorruptionError(f"{key}: undecodable array payload") from exc
+
+    def save_json(self, key: str, obj: Any) -> Path:
+        return self.save_bytes(key, json.dumps(obj, sort_keys=True).encode("utf-8"))
+
+    def load_json(self, key: str) -> Any:
+        try:
+            return json.loads(self.load_bytes(key).decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CacheCorruptionError(f"{key}: undecodable JSON payload") from exc
+
+    # -- queries & maintenance ----------------------------------------------------
+
+    def has(self, key: str) -> bool:
+        """Cheap existence check: manifest entry + payload file present."""
+        return key in self._read_manifest() and self._path_of(key).exists()
+
+    def verify(self, key: str) -> bool:
+        """Full checksum verification of one key."""
+        try:
+            self.load_bytes(key)
+        except CacheCorruptionError:
+            return False
+        return True
+
+    def keys(self) -> Iterator[str]:
+        yield from sorted(self._read_manifest())
+
+    def invalidate(self, key: str) -> None:
+        """Drop a key's payload and manifest entry (idempotent)."""
+        self._path_of(key).unlink(missing_ok=True)
+        entries = self._read_manifest()
+        if entries.pop(key, None) is not None:
+            self._write_manifest(entries)
+
+    def clear(self) -> None:
+        for key in list(self._read_manifest()):
+            self._path_of(key).unlink(missing_ok=True)
+        self.manifest_path.unlink(missing_ok=True)

@@ -1,0 +1,53 @@
+"""The typed error taxonomy of the fault-tolerant runtime.
+
+Every failure the runtime can surface is one of these, so callers (the CLI,
+the suite builder, tests) can branch on *kind* of failure instead of string
+matching.  :class:`CacheCorruptionError` and :class:`ValidationError` also
+subclass :class:`ValueError` so pre-runtime callers that caught ``ValueError``
+keep working.
+"""
+
+from __future__ import annotations
+
+
+class ReproRuntimeError(Exception):
+    """Base class for every error raised by :mod:`repro.runtime`."""
+
+
+class CacheCorruptionError(ReproRuntimeError, ValueError):
+    """A cached artefact is truncated, checksum-mismatched, or the wrong
+    format version.  The remedy is always the same: invalidate and rebuild."""
+
+
+class ValidationError(ReproRuntimeError, ValueError):
+    """A feature matrix or label vector failed an integrity guard
+    (NaN/Inf values, wrong shape, wrong dtype, non-binary labels)."""
+
+
+class StageFailure(ReproRuntimeError):
+    """A pipeline unit exhausted its retry budget (or ``fail_fast`` was set).
+
+    Carries the stage/unit identity and the attempt count; the causing
+    exception is chained via ``__cause__``.
+    """
+
+    def __init__(self, stage: str, unit: str, attempts: int, message: str = ""):
+        self.stage = stage
+        self.unit = unit
+        self.attempts = attempts
+        detail = message or "failed"
+        super().__init__(
+            f"{stage}/{unit}: {detail} after {attempts} attempt(s)"
+        )
+
+
+class StageTimeout(StageFailure):
+    """A unit exceeded its wall-clock timeout budget."""
+
+    def __init__(self, stage: str, unit: str, attempts: int, timeout_s: float):
+        self.timeout_s = timeout_s
+        super().__init__(stage, unit, attempts, f"timed out after {timeout_s:g}s")
+
+
+class FaultInjected(ReproRuntimeError):
+    """Default exception raised by the fault-injection harness."""

@@ -1,0 +1,143 @@
+"""Deterministic fault injection into named runtime stages.
+
+CI cannot rely on real crashes, slow disks, or bit-rot to exercise the
+fault-tolerant runtime, so this module lets tests *schedule* them::
+
+    with inject_faults(
+        FaultSpec(stage="flow/mult_1", kind="error", times=1),
+        FaultSpec(stage="checkpoint/fft_b*", kind="corrupt"),
+    ) as plan:
+        build_suite_dataset(...)
+    assert plan.triggered == [...]
+
+Stages are hierarchical names (``"flow/mult_1"``, ``"experiment/RF__g2"``,
+``"checkpoint/<key>"``) matched with :func:`fnmatch.fnmatch`, so a spec can
+target one unit or a whole family.  Each spec fires a bounded number of
+``times`` (after skipping the first ``after`` matches), which makes
+retry-then-succeed scenarios deterministic.
+
+Three fault kinds:
+
+* ``"error"``  — raise ``exception(message)`` from inside the unit;
+* ``"delay"``  — sleep ``delay_s`` inside the unit (trips timeouts);
+* ``"corrupt"`` — flip bytes of an artefact file just after it is written
+  (trips checksums on the next load).
+
+Production code calls the module-level hooks :func:`fire` and
+:func:`corrupt_artifact`; both are no-ops unless a plan is active, so the
+hooks cost one attribute check on the hot path.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Callable, Iterator
+
+from .errors import FaultInjected
+
+
+@dataclass
+class FaultSpec:
+    """One scheduled fault against a stage-name pattern."""
+
+    stage: str  # fnmatch pattern against hierarchical stage names
+    kind: str = "error"  # "error" | "delay" | "corrupt"
+    times: int = 1  # how many matching calls trigger before the spec disarms
+    after: int = 0  # skip this many matching calls first
+    exception: type[Exception] = FaultInjected
+    message: str = "injected fault"
+    delay_s: float = 0.05
+
+    #: mutable trigger bookkeeping (not part of the spec identity)
+    seen: int = field(default=0, compare=False)
+    fired: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("error", "delay", "corrupt"):
+            raise ValueError(f"unknown fault kind {self.kind!r}")
+
+    def should_fire(self, stage: str) -> bool:
+        if not fnmatch(stage, self.stage):
+            return False
+        self.seen += 1
+        if self.seen <= self.after or self.fired >= self.times:
+            return False
+        self.fired += 1
+        return True
+
+
+class FaultPlan:
+    """An active set of fault specs plus a record of what actually fired."""
+
+    def __init__(self, *specs: FaultSpec, sleep: Callable[[float], None] = time.sleep):
+        self.specs = list(specs)
+        self.triggered: list[tuple[str, str]] = []  # (stage, kind) in fire order
+        self._sleep = sleep
+
+    def fire(self, stage: str) -> None:
+        """Raise/delay per any armed error- or delay-spec matching ``stage``."""
+        for spec in self.specs:
+            if spec.kind == "corrupt" or not spec.should_fire(stage):
+                continue
+            self.triggered.append((stage, spec.kind))
+            if spec.kind == "delay":
+                self._sleep(spec.delay_s)
+            else:
+                raise spec.exception(f"{spec.message} @ {stage}")
+
+    def corrupt_artifact(self, stage: str, path: Path) -> bool:
+        """Flip bytes in ``path`` per any armed corrupt-spec matching ``stage``."""
+        corrupted = False
+        for spec in self.specs:
+            if spec.kind != "corrupt" or not spec.should_fire(stage):
+                continue
+            self.triggered.append((stage, spec.kind))
+            _flip_bytes(Path(path))
+            corrupted = True
+        return corrupted
+
+
+def _flip_bytes(path: Path, n: int = 16) -> None:
+    """Deterministically invert ``n`` bytes in the middle of the file."""
+    data = bytearray(path.read_bytes())
+    if not data:
+        return
+    start = len(data) // 2
+    for i in range(start, min(start + n, len(data))):
+        data[i] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+#: The currently active plan (None outside ``inject_faults`` blocks).
+_ACTIVE: FaultPlan | None = None
+
+
+@contextmanager
+def inject_faults(*specs: FaultSpec, sleep: Callable[[float], None] = time.sleep) -> Iterator[FaultPlan]:
+    """Activate a fault plan for the duration of the ``with`` block."""
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("fault plans do not nest")
+    plan = FaultPlan(*specs, sleep=sleep)
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = None
+
+
+def fire(stage: str) -> None:
+    """Hook called by the runner at the start of every unit attempt."""
+    if _ACTIVE is not None:
+        _ACTIVE.fire(stage)
+
+
+def corrupt_artifact(stage: str, path: Path) -> bool:
+    """Hook called by the checkpoint store after writing an artefact."""
+    if _ACTIVE is not None:
+        return _ACTIVE.corrupt_artifact(stage, path)
+    return False

@@ -1,0 +1,220 @@
+"""Fault-tolerant unit runner: isolation, retries, timeouts, failure log.
+
+A *unit* is one independently restartable chunk of pipeline work — one
+design's Fig. 1 flow, or one (model, group) cell of the leave-one-group-out
+grid.  :class:`FaultTolerantRunner` executes units so that one bad unit
+degrades the run instead of killing it:
+
+* every attempt is wrapped in try/except; non-``BaseException`` errors are
+  caught, ``KeyboardInterrupt``/``SystemExit`` propagate;
+* a :class:`RetryPolicy` grants each unit ``1 + max_retries`` attempts with
+  exponential backoff between them;
+* an optional wall-clock timeout per attempt (enforced by running the unit
+  on a worker thread — a timed-out unit's thread is abandoned, which is safe
+  for our pure-compute units but means the budget should be generous);
+* exhausted units are recorded in a structured :class:`FailureLog` and the
+  runner either raises :class:`~repro.runtime.errors.StageFailure`
+  (``fail_fast=True``) or returns a not-ok :class:`UnitOutcome` so the
+  caller can skip the unit, mirroring the paper's footnote-3 skip semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from . import faults
+from .checkpoint import atomic_write_text
+from .errors import StageFailure, StageTimeout
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff/timeout budget applied to every unit of a runner."""
+
+    max_retries: int = 0
+    backoff_base_s: float = 0.0  # sleep backoff_base * 2**attempt between tries
+    backoff_cap_s: float = 30.0
+    timeout_s: float | None = None  # wall-clock budget per attempt
+
+    @property
+    def max_attempts(self) -> int:
+        return 1 + max(0, self.max_retries)
+
+    def backoff(self, attempt: int) -> float:
+        """Seconds to sleep after failed attempt number ``attempt`` (1-based)."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        return min(self.backoff_cap_s, self.backoff_base_s * 2 ** (attempt - 1))
+
+
+@dataclass
+class FailureRecord:
+    """One permanently failed unit."""
+
+    stage: str
+    unit: str
+    attempts: int
+    error_type: str
+    message: str
+    elapsed_s: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "unit": self.unit,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+            "elapsed_s": round(self.elapsed_s, 3),
+        }
+
+
+class FailureLog:
+    """Structured record of every unit that exhausted its retry budget."""
+
+    def __init__(self) -> None:
+        self.records: list[FailureRecord] = []
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def record(self, rec: FailureRecord) -> None:
+        self.records.append(rec)
+
+    def units(self) -> list[str]:
+        return [f"{r.stage}/{r.unit}" for r in self.records]
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no failures"
+        lines = [f"{len(self.records)} failed unit(s):"]
+        for r in self.records:
+            lines.append(
+                f"  {r.stage}/{r.unit}: {r.error_type} after "
+                f"{r.attempts} attempt(s) — {r.message}"
+            )
+        return "\n".join(lines)
+
+    def save(self, path: str | Path) -> Path:
+        """Persist the log as JSON (atomic, for post-mortem tooling)."""
+        return atomic_write_text(
+            Path(path), json.dumps([r.to_dict() for r in self.records], indent=2)
+        )
+
+
+@dataclass
+class UnitOutcome:
+    """Result of running one unit: a value, or a recorded failure."""
+
+    value: Any = None
+    failure: FailureRecord | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+class FaultTolerantRunner:
+    """Executes pipeline units under a retry/timeout/isolation policy."""
+
+    def __init__(
+        self,
+        policy: RetryPolicy | None = None,
+        fail_fast: bool = False,
+        verbose: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.policy = policy or RetryPolicy()
+        self.fail_fast = fail_fast
+        self.verbose = verbose
+        self.failures = FailureLog()
+        self._sleep = sleep
+
+    def run_unit(
+        self,
+        stage: str,
+        unit: str,
+        fn: Callable[..., Any],
+        *args: Any,
+        **kwargs: Any,
+    ) -> UnitOutcome:
+        """Run ``fn(*args, **kwargs)`` as the unit ``stage/unit``.
+
+        Returns an ok :class:`UnitOutcome` on (eventual) success.  On a
+        permanently failed unit: records it in :attr:`failures`, then raises
+        :class:`StageFailure` if ``fail_fast`` else returns a not-ok outcome.
+        """
+        name = f"{stage}/{unit}"
+        t_start = time.monotonic()
+        last_exc: BaseException | None = None
+        timed_out = False
+        for attempt in range(1, self.policy.max_attempts + 1):
+            try:
+                value = self._attempt(name, fn, args, kwargs)
+                return UnitOutcome(value=value)
+            except FutureTimeoutError:
+                timed_out = True
+                last_exc = None
+            except Exception as exc:
+                timed_out = False
+                last_exc = exc
+            if attempt < self.policy.max_attempts:
+                pause = self.policy.backoff(attempt)
+                if self.verbose:
+                    print(
+                        f"  retrying {name} (attempt {attempt} failed: "
+                        f"{_describe(last_exc, timed_out, self.policy)})",
+                        flush=True,
+                    )
+                if pause > 0:
+                    self._sleep(pause)
+
+        attempts = self.policy.max_attempts
+        rec = FailureRecord(
+            stage=stage,
+            unit=unit,
+            attempts=attempts,
+            error_type="StageTimeout" if timed_out else type(last_exc).__name__,
+            message=_describe(last_exc, timed_out, self.policy),
+            elapsed_s=time.monotonic() - t_start,
+        )
+        self.failures.record(rec)
+        if self.verbose:
+            print(f"  FAILED {name}: {rec.message}", flush=True)
+        if self.fail_fast:
+            if timed_out:
+                raise StageTimeout(stage, unit, attempts, self.policy.timeout_s or 0.0)
+            raise StageFailure(stage, unit, attempts, rec.message) from last_exc
+        return UnitOutcome(failure=rec)
+
+    def _attempt(
+        self, name: str, fn: Callable[..., Any], args: tuple, kwargs: dict
+    ) -> Any:
+        def run() -> Any:
+            faults.fire(name)
+            return fn(*args, **kwargs)
+
+        if self.policy.timeout_s is None:
+            return run()
+        pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"unit-{name}")
+        try:
+            return pool.submit(run).result(timeout=self.policy.timeout_s)
+        finally:
+            pool.shutdown(wait=False)
+
+
+def _describe(
+    exc: BaseException | None, timed_out: bool, policy: RetryPolicy
+) -> str:
+    if timed_out:
+        return f"timed out after {policy.timeout_s:g}s"
+    return f"{type(exc).__name__}: {exc}"

@@ -1,0 +1,55 @@
+"""Integrity guards for feature matrices and label vectors.
+
+Checkpoints and caches reintroduce data the flow did not just compute, so
+everything loaded from disk — and everything about to enter ``fit``/
+``predict`` — passes through :func:`validate_features`.  A silent NaN in one
+g-cell's 387 features would otherwise surface as a cryptic failure deep in a
+model, or worse, as a quietly wrong Table II row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import ValidationError
+
+
+def validate_features(
+    X: np.ndarray,
+    y: np.ndarray | None = None,
+    *,
+    name: str = "dataset",
+    expect_features: int | None = None,
+) -> None:
+    """Raise :class:`ValidationError` unless ``X`` (and ``y``) are sound.
+
+    Checks: ``X`` is a 2-D floating matrix of finite values with
+    ``expect_features`` columns (when given); ``y`` is a 1-D integer-like
+    vector of the matching length whose values are all 0/1.
+    """
+    X = np.asarray(X)
+    if X.ndim != 2:
+        raise ValidationError(f"{name}: X must be 2-D, got shape {X.shape}")
+    if expect_features is not None and X.shape[1] != expect_features:
+        raise ValidationError(
+            f"{name}: X has {X.shape[1]} features, expected {expect_features}"
+        )
+    if not np.issubdtype(X.dtype, np.floating):
+        raise ValidationError(f"{name}: X dtype {X.dtype} is not floating")
+    if not np.isfinite(X).all():
+        bad = int(np.size(X) - np.count_nonzero(np.isfinite(X)))
+        raise ValidationError(f"{name}: X contains {bad} NaN/Inf value(s)")
+
+    if y is None:
+        return
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValidationError(f"{name}: y must be 1-D, got shape {y.shape}")
+    if y.shape[0] != X.shape[0]:
+        raise ValidationError(
+            f"{name}: y length {y.shape[0]} != X rows {X.shape[0]}"
+        )
+    if not (np.issubdtype(y.dtype, np.integer) or np.issubdtype(y.dtype, np.bool_)):
+        raise ValidationError(f"{name}: y dtype {y.dtype} is not integer/bool")
+    if not np.isin(y, (0, 1)).all():
+        raise ValidationError(f"{name}: y contains non-binary labels")

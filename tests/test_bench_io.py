@@ -4,6 +4,7 @@ import pytest
 
 from repro.bench.generator import DesignRecipe, generate_design
 from repro.bench.io import load_artifact, load_design, save_artifact, save_design
+from repro.runtime import CacheCorruptionError
 
 
 class TestDesignIO:
@@ -48,3 +49,53 @@ class TestDesignIO:
             pickle.dump({"version": -1, "design": None}, fh)
         with pytest.raises(ValueError, match="format"):
             load_design(path)
+
+    def test_version_mismatch_is_cache_corruption(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "old.pkl"
+        with open(path, "wb") as fh:
+            pickle.dump({"version": -1, "artifact": None}, fh)
+        with pytest.raises(CacheCorruptionError):
+            load_artifact(path)
+
+
+class TestCorruptedFiles:
+    """Truncated or garbage payloads raise the typed CacheCorruptionError."""
+
+    def test_truncated_design_file(self, tmp_path):
+        d = generate_design(DesignRecipe(name="tr", grid_nx=8, grid_ny=8, seed=4))
+        path = save_design(d, tmp_path / "t.pkl")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 3])  # simulate an interrupted write
+        with pytest.raises(CacheCorruptionError, match="truncated or corrupted"):
+            load_design(path)
+
+    def test_truncated_artifact_file(self, tmp_path):
+        path = save_artifact({"k": list(range(1000))}, tmp_path / "t.pkl")
+        path.write_bytes(path.read_bytes()[:10])
+        with pytest.raises(CacheCorruptionError):
+            load_artifact(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = tmp_path / "junk.pkl"
+        path.write_bytes(b"\x00\xde\xad\xbe\xef" * 8)
+        with pytest.raises(CacheCorruptionError):
+            load_artifact(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.pkl"
+        path.write_bytes(b"")
+        with pytest.raises(CacheCorruptionError):
+            load_design(path)
+
+    def test_wrong_payload_kind(self, tmp_path):
+        # a valid design artefact is not an "artifact" payload and vice versa
+        d = generate_design(DesignRecipe(name="wk", grid_nx=8, grid_ny=8, seed=5))
+        path = save_design(d, tmp_path / "d.pkl")
+        with pytest.raises(CacheCorruptionError, match="payload missing"):
+            load_artifact(path)
+
+    def test_atomic_save_leaves_no_temp_files(self, tmp_path):
+        save_artifact([1, 2, 3], tmp_path / "a.pkl")
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["a.pkl"]

@@ -1,0 +1,130 @@
+"""Tests for the checkpoint store: atomicity, checksums, version stamps."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import CacheCorruptionError, CheckpointStore
+from repro.runtime.checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    atomic_write_bytes,
+    sha256_of,
+)
+
+
+@pytest.fixture()
+def store(tmp_path) -> CheckpointStore:
+    return CheckpointStore(tmp_path / "ckpt")
+
+
+class TestAtomicWrite:
+    def test_roundtrip_and_no_temp_residue(self, tmp_path):
+        path = tmp_path / "deep" / "a.bin"
+        atomic_write_bytes(path, b"payload")
+        assert path.read_bytes() == b"payload"
+        assert [p.name for p in path.parent.iterdir()] == ["a.bin"]
+
+    def test_overwrite_is_replace(self, tmp_path):
+        path = tmp_path / "a.bin"
+        atomic_write_bytes(path, b"one")
+        atomic_write_bytes(path, b"two")
+        assert path.read_bytes() == b"two"
+
+    def test_sha256_of_matches_hashlib(self, tmp_path):
+        import hashlib
+
+        path = tmp_path / "h.bin"
+        path.write_bytes(b"x" * 100_000)
+        assert sha256_of(path) == hashlib.sha256(b"x" * 100_000).hexdigest()
+
+
+class TestCheckpointStore:
+    def test_bytes_roundtrip(self, store):
+        store.save_bytes("k.bin", b"\x00\x01hello")
+        assert store.has("k.bin")
+        assert store.verify("k.bin")
+        assert store.load_bytes("k.bin") == b"\x00\x01hello"
+
+    def test_arrays_roundtrip(self, store):
+        X = np.arange(12, dtype=np.float32).reshape(3, 4)
+        store.save_arrays("a.npz", X=X, y=np.array([1, 0, 1], dtype=np.int8))
+        back = store.load_arrays("a.npz")
+        assert np.array_equal(back["X"], X)
+        assert back["y"].tolist() == [1, 0, 1]
+
+    def test_json_roundtrip(self, store):
+        store.save_json("m.json", {"a": [1, 2], "b": "x"})
+        assert store.load_json("m.json") == {"a": [1, 2], "b": "x"}
+
+    def test_missing_key(self, store):
+        assert not store.has("ghost")
+        with pytest.raises(CacheCorruptionError, match="no manifest entry"):
+            store.load_bytes("ghost")
+
+    def test_corruption_detected_by_checksum(self, store):
+        store.save_bytes("c.bin", b"A" * 64)
+        path = store.root / "c.bin"
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.has("c.bin")  # cheap check still true
+        assert not store.verify("c.bin")
+        with pytest.raises(CacheCorruptionError, match="checksum mismatch"):
+            store.load_bytes("c.bin")
+
+    def test_truncation_detected(self, store):
+        store.save_bytes("t.bin", b"B" * 128)
+        path = store.root / "t.bin"
+        path.write_bytes(path.read_bytes()[:40])
+        with pytest.raises(CacheCorruptionError):
+            store.load_bytes("t.bin")
+
+    def test_version_mismatch_rejected(self, store):
+        store.save_bytes("v.bin", b"data")
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["entries"]["v.bin"]["format_version"] = CHECKPOINT_FORMAT_VERSION - 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CacheCorruptionError, match="format"):
+            store.load_bytes("v.bin")
+
+    def test_store_format_bump_invalidates_wholesale(self, store):
+        store.save_bytes("w.bin", b"data")
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["format_version"] = CHECKPOINT_FORMAT_VERSION + 1
+        store.manifest_path.write_text(json.dumps(manifest))
+        assert not store.has("w.bin")
+        assert list(store.keys()) == []
+
+    def test_torn_manifest_treated_as_empty(self, store):
+        store.save_bytes("k.bin", b"data")
+        store.manifest_path.write_text('{"format_version": 2, "entr')  # torn
+        assert not store.has("k.bin")
+
+    def test_invalidate(self, store):
+        store.save_bytes("d.bin", b"data")
+        store.invalidate("d.bin")
+        assert not store.has("d.bin")
+        assert not (store.root / "d.bin").exists()
+        store.invalidate("d.bin")  # idempotent
+
+    def test_clear(self, store):
+        store.save_bytes("a", b"1")
+        store.save_bytes("b", b"2")
+        store.clear()
+        assert list(store.keys()) == []
+
+    def test_invalid_keys_rejected(self, store):
+        for bad in ("../escape", "a/b", "", ".hidden"):
+            with pytest.raises(ValueError):
+                store.save_bytes(bad, b"x")
+
+    def test_undecodable_array_payload(self, store):
+        store.save_bytes("x.npz", b"not an npz at all")
+        with pytest.raises(CacheCorruptionError, match="array payload"):
+            store.load_arrays("x.npz")
+
+    def test_undecodable_json_payload(self, store):
+        store.save_bytes("x.json", b"\xff\xfe{nope")
+        with pytest.raises(CacheCorruptionError, match="JSON payload"):
+            store.load_json("x.json")

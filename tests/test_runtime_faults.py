@@ -1,0 +1,100 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.runtime import (
+    CacheCorruptionError,
+    CheckpointStore,
+    FaultInjected,
+    FaultSpec,
+    FaultTolerantRunner,
+    RetryPolicy,
+    inject_faults,
+)
+from repro.runtime import faults
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(stage="x", kind="explode")
+
+    def test_fires_bounded_times(self):
+        spec = FaultSpec(stage="flow/a", times=2)
+        hits = [spec.should_fire("flow/a") for _ in range(4)]
+        assert hits == [True, True, False, False]
+
+    def test_after_skips_first_matches(self):
+        spec = FaultSpec(stage="flow/a", times=1, after=2)
+        hits = [spec.should_fire("flow/a") for _ in range(4)]
+        assert hits == [False, False, True, False]
+
+    def test_glob_matching(self):
+        spec = FaultSpec(stage="flow/*", times=10)
+        assert spec.should_fire("flow/mult_1")
+        assert spec.should_fire("flow/fft_b")
+        assert not spec.should_fire("experiment/RF__g0")
+
+
+class TestInjection:
+    def test_error_fault_raises_inside_block(self):
+        with inject_faults(FaultSpec(stage="s/u", times=1)) as plan:
+            with pytest.raises(FaultInjected, match="injected fault @ s/u"):
+                faults.fire("s/u")
+            faults.fire("s/u")  # disarmed after `times` firings
+        assert plan.triggered == [("s/u", "error")]
+
+    def test_custom_exception(self):
+        with inject_faults(
+            FaultSpec(stage="s/u", exception=OSError, message="disk gone")
+        ):
+            with pytest.raises(OSError, match="disk gone"):
+                faults.fire("s/u")
+
+    def test_no_active_plan_is_noop(self):
+        faults.fire("anything")  # must not raise outside inject_faults
+
+    def test_plans_do_not_nest(self):
+        with inject_faults(FaultSpec(stage="a")):
+            with pytest.raises(RuntimeError, match="nest"):
+                with inject_faults(FaultSpec(stage="b")):
+                    pass
+
+    def test_delay_fault_sleeps(self):
+        slept = []
+        with inject_faults(
+            FaultSpec(stage="s/u", kind="delay", delay_s=0.3), sleep=slept.append
+        ):
+            faults.fire("s/u")
+        assert slept == [0.3]
+
+    def test_corrupt_fault_trips_checkpoint_checksum(self, tmp_path):
+        store = CheckpointStore(tmp_path / "s")
+        with inject_faults(FaultSpec(stage="checkpoint/k.bin", kind="corrupt")) as plan:
+            store.save_bytes("k.bin", b"payload-bytes-here")
+        assert plan.triggered == [("checkpoint/k.bin", "corrupt")]
+        assert store.has("k.bin")  # looks complete...
+        with pytest.raises(CacheCorruptionError, match="checksum"):
+            store.load_bytes("k.bin")  # ...but is detected on load
+
+    def test_retry_then_succeed_via_injection(self):
+        calls = {"n": 0}
+
+        def unit():
+            calls["n"] += 1
+            return "ok"
+
+        with inject_faults(FaultSpec(stage="flow/u", times=2)) as plan:
+            runner = FaultTolerantRunner(RetryPolicy(max_retries=2), sleep=lambda s: None)
+            out = runner.run_unit("flow", "u", unit)
+        assert out.ok and out.value == "ok"
+        assert calls["n"] == 1  # first two attempts died before reaching fn
+        assert plan.triggered == [("flow/u", "error")] * 2
+        assert not runner.failures
+
+    def test_injected_delay_trips_runner_timeout(self):
+        with inject_faults(FaultSpec(stage="flow/slow", kind="delay", delay_s=1.0)):
+            runner = FaultTolerantRunner(RetryPolicy(timeout_s=0.05))
+            out = runner.run_unit("flow", "slow", lambda: "never")
+        assert not out.ok
+        assert out.failure.error_type == "StageTimeout"

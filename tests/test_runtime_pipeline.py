@@ -1,0 +1,302 @@
+"""Integration tests: resumable suite builds and fault-tolerant experiments.
+
+These exercise the whole runtime machinery end-to-end via the fault-injection
+harness: kill-and-resume mid-suite, corrupted-checkpoint detection + rebuild,
+torn cache pairs, graceful degradation, and experiment-grid resume.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline as pipeline
+from repro.bench.suite import SUITE_ORDER
+from repro.core.experiment import run_experiment
+from repro.core.models import ModelSpec
+from repro.core.pipeline import ADHOC_GROUP, build_suite_dataset, checkpoint_dir_for
+from repro.features.dataset import DesignDataset, SuiteDataset
+from repro.features.names import NUM_FEATURES
+from repro.runtime import (
+    CheckpointStore,
+    FaultSpec,
+    FaultTolerantRunner,
+    StageFailure,
+    inject_faults,
+)
+
+SCALE = 0.3  # tiny grids: the full 14-design suite flows in seconds
+
+
+@pytest.fixture()
+def counted_run_flow(monkeypatch):
+    """Count invocations of the real flow made by the suite builder."""
+    calls: list[str] = []
+    real = pipeline.run_flow
+
+    def counting(recipe, *args, **kwargs):
+        calls.append(recipe.name)
+        return real(recipe, *args, **kwargs)
+
+    monkeypatch.setattr(pipeline, "run_flow", counting)
+    return calls
+
+
+class TestKillAndResume:
+    def test_interrupted_build_resumes_remaining_designs(
+        self, tmp_path, counted_run_flow
+    ):
+        cache = tmp_path / "suite.npz"
+        killed_at = SUITE_ORDER[2]  # die on the 3rd of 14 designs
+
+        with inject_faults(FaultSpec(stage=f"flow/{killed_at}", times=1)):
+            with pytest.raises(StageFailure):
+                build_suite_dataset(SCALE, cache_path=cache)
+        # the injected fault kills design 3 before its flow body runs
+        assert counted_run_flow == list(SUITE_ORDER[:2])
+        assert not cache.exists()  # no cache for a partial run
+
+        store = CheckpointStore(checkpoint_dir_for(cache))
+        assert sorted(store.keys()) == sorted(f"{n}.npz" for n in SUITE_ORDER[:2])
+
+        # re-invocation re-runs ONLY the 14 - 2 unfinished flows
+        counted_run_flow.clear()
+        suite, stats = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == list(SUITE_ORDER[2:])
+        assert len(counted_run_flow) == 14 - 2
+        assert suite.names == list(SUITE_ORDER)
+        assert len(stats) == 14
+        assert cache.exists()
+
+        # third invocation: everything comes from the (now complete) cache
+        counted_run_flow.clear()
+        suite2, _ = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == []
+        assert suite2.names == suite.names
+
+    def test_no_resume_flag_recomputes_everything(self, tmp_path, counted_run_flow):
+        cache = tmp_path / "suite.npz"
+        with inject_faults(FaultSpec(stage=f"flow/{SUITE_ORDER[5]}", times=1)):
+            with pytest.raises(StageFailure):
+                build_suite_dataset(SCALE, cache_path=cache)
+        counted_run_flow.clear()
+        build_suite_dataset(SCALE, cache_path=cache, resume=False)
+        assert len(counted_run_flow) == 14
+
+
+class TestCorruptionRecovery:
+    def test_corrupted_checkpoint_is_rebuilt_not_loaded(
+        self, tmp_path, counted_run_flow
+    ):
+        cache = tmp_path / "suite.npz"
+        build_suite_dataset(SCALE, cache_path=cache)
+        victim = SUITE_ORDER[7]
+
+        # corrupt one design's checkpoint payload and tear the final cache
+        # so the builder must fall back to checkpoints
+        store = CheckpointStore(checkpoint_dir_for(cache))
+        payload_path = store.root / f"{victim}.npz"
+        data = bytearray(payload_path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        payload_path.write_bytes(bytes(data))
+        cache.unlink()
+        cache.with_suffix(".stats.json").unlink()
+
+        counted_run_flow.clear()
+        suite, _ = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == [victim]  # checksum caught it; only it re-ran
+        assert suite.names == list(SUITE_ORDER)
+        assert store.verify(f"{victim}.npz")  # rebuilt checkpoint is sound again
+
+    def test_injected_checkpoint_corruption_detected_on_next_run(
+        self, tmp_path, counted_run_flow
+    ):
+        cache = tmp_path / "suite.npz"
+        victim = SUITE_ORDER[0]
+        with inject_faults(
+            FaultSpec(stage=f"checkpoint/{victim}.npz", kind="corrupt")
+        ) as plan:
+            build_suite_dataset(SCALE, cache_path=cache)
+        assert (f"checkpoint/{victim}.npz", "corrupt") in plan.triggered
+
+        # the torn artefact is detected by checksum and only it is re-flowed
+        cache.unlink()
+        cache.with_suffix(".stats.json").unlink()
+        counted_run_flow.clear()
+        build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == [victim]
+
+    def test_torn_cache_pair_rebuilds_from_checkpoints(
+        self, tmp_path, counted_run_flow
+    ):
+        cache = tmp_path / "suite.npz"
+        build_suite_dataset(SCALE, cache_path=cache)
+
+        # delete one half of the pair: the pair is invalidated together,
+        # but the rebuild costs zero flows thanks to the checkpoints
+        cache.with_suffix(".stats.json").unlink()
+        counted_run_flow.clear()
+        suite, stats = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == []
+        assert cache.exists()  # pair rewritten
+        assert cache.with_suffix(".stats.json").exists()
+        assert len(stats) == 14
+
+    def test_corrupted_npz_invalidates_pair(self, tmp_path, counted_run_flow):
+        cache = tmp_path / "suite.npz"
+        build_suite_dataset(SCALE, cache_path=cache)
+        data = bytearray(cache.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        cache.write_bytes(bytes(data))
+
+        counted_run_flow.clear()
+        suite, _ = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == []  # checkpoints still cover everything
+        assert suite.names == list(SUITE_ORDER)
+        # rewritten cache passes checksum now
+        doc = json.loads(cache.with_suffix(".stats.json").read_text())
+        from repro.runtime.checkpoint import sha256_of
+
+        assert doc["npz_sha256"] == sha256_of(cache)
+
+    def test_legacy_sidecar_format_is_invalidated(self, tmp_path, counted_run_flow):
+        cache = tmp_path / "suite.npz"
+        build_suite_dataset(SCALE, cache_path=cache)
+        # simulate a v1 sidecar: a bare stats list without integrity data
+        sidecar = cache.with_suffix(".stats.json")
+        sidecar.write_text(json.dumps([{"name": "des_perf_b"}]))
+
+        counted_run_flow.clear()
+        suite, stats = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == []  # rebuilt from checkpoints
+        assert len(stats) == 14
+
+
+class TestGracefulDegradation:
+    def test_failed_design_is_recorded_and_skipped(self, tmp_path, counted_run_flow):
+        cache = tmp_path / "suite.npz"
+        victim = SUITE_ORDER[4]
+        runner = FaultTolerantRunner(fail_fast=False)
+        with inject_faults(FaultSpec(stage=f"flow/{victim}", times=1)):
+            suite, stats = build_suite_dataset(
+                SCALE, cache_path=cache, runner=runner
+            )
+        assert len(suite.designs) == 13
+        assert victim not in suite.names
+        assert runner.failures.units() == [f"flow/{victim}"]
+        rec = runner.failures.records[0]
+        assert rec.error_type == "FaultInjected"
+        # the shared cache must not be poisoned by a partial suite
+        assert not cache.exists()
+
+        # next run completes the missing design and writes the cache
+        counted_run_flow.clear()
+        suite2, _ = build_suite_dataset(SCALE, cache_path=cache)
+        assert counted_run_flow == [victim]
+        assert len(suite2.designs) == 14
+        assert cache.exists()
+
+    def test_all_designs_failing_raises(self, tmp_path):
+        runner = FaultTolerantRunner(fail_fast=False)
+        with inject_faults(FaultSpec(stage="flow/*", times=14)):
+            with pytest.raises(StageFailure, match="every design"):
+                build_suite_dataset(SCALE, cache_path=tmp_path / "s.npz",
+                                    runner=runner)
+
+
+# -- experiment-level fault tolerance ----------------------------------------------
+
+
+class _DummyModel:
+    """Deterministic stand-in estimator: scores by the first feature."""
+
+    fit_calls = 0
+
+    def fit(self, X, y):
+        _DummyModel.fit_calls += 1
+        return self
+
+    def predict_proba(self, X):
+        s = (X[:, 0] - X[:, 0].min()) / (np.ptp(X[:, 0]) + 1e-9)
+        return np.stack([1 - s, s], axis=1)
+
+
+def _dummy_spec() -> ModelSpec:
+    return ModelSpec(name="Dummy", factory=_DummyModel)
+
+
+def _synthetic_suite(with_adhoc: bool = False) -> SuiteDataset:
+    rng = np.random.default_rng(0)
+    designs = []
+    specs = [("d0", 0), ("d1", 0), ("d2", 1), ("d3", 1)]
+    if with_adhoc:
+        specs.append(("stray", ADHOC_GROUP))
+    for name, group in specs:
+        n = 25
+        X = rng.normal(size=(n, NUM_FEATURES))
+        y = (X[:, 0] > 0.8).astype(np.int8)
+        y[:3] = 1  # guarantee positives
+        designs.append(
+            DesignDataset(name=name, group=group, X=X, y=y, grid_nx=5, grid_ny=5)
+        )
+    return SuiteDataset(designs)
+
+
+class TestExperimentFaultTolerance:
+    def test_failed_unit_degrades_table(self):
+        suite = _synthetic_suite()
+        runner = FaultTolerantRunner(fail_fast=False)
+        with inject_faults(FaultSpec(stage="experiment/Dummy__g0", times=1)):
+            result = run_experiment(
+                suite, [_dummy_spec()], tune=False, runner=runner
+            )
+        assert runner.failures.units() == ["experiment/Dummy__g0"]
+        scored = {s.design for s in result.scores}
+        assert scored == {"d2", "d3"}  # group-1 designs still scored
+
+    def test_checkpointed_experiment_resumes_without_refitting(self, tmp_path):
+        suite = _synthetic_suite()
+        ckpt = tmp_path / "exp.ckpt"
+        _DummyModel.fit_calls = 0
+        first = run_experiment(
+            suite, [_dummy_spec()], tune=False, checkpoint_dir=ckpt
+        )
+        assert _DummyModel.fit_calls == 2  # one fit per group
+
+        second = run_experiment(
+            suite, [_dummy_spec()], tune=False, checkpoint_dir=ckpt
+        )
+        assert _DummyModel.fit_calls == 2  # resumed: zero new fits
+        assert [
+            (s.design, s.metrics.a_prc) for s in second.scores
+        ] == [(s.design, s.metrics.a_prc) for s in first.scores]
+
+    def test_interrupted_grid_resumes_only_missing_units(self, tmp_path):
+        suite = _synthetic_suite()
+        ckpt = tmp_path / "exp.ckpt"
+        runner = FaultTolerantRunner(fail_fast=False)
+        _DummyModel.fit_calls = 0
+        with inject_faults(FaultSpec(stage="experiment/Dummy__g1", times=1)):
+            run_experiment(
+                suite, [_dummy_spec()], tune=False,
+                runner=runner, checkpoint_dir=ckpt,
+            )
+        assert _DummyModel.fit_calls == 1
+
+        result = run_experiment(
+            suite, [_dummy_spec()], tune=False, checkpoint_dir=ckpt
+        )
+        assert _DummyModel.fit_calls == 2  # only the failed unit re-ran
+        assert {s.design for s in result.scores} == {"d0", "d1", "d2", "d3"}
+
+
+class TestAdhocGroupSentinel:
+    def test_safe_group_returns_sentinel(self):
+        assert pipeline._safe_group("not_in_suite") == ADHOC_GROUP
+        assert pipeline._safe_group("des_perf_1") == 3
+
+    def test_sentinel_group_never_forms_a_test_fold(self):
+        suite = _synthetic_suite(with_adhoc=True)
+        result = run_experiment(suite, [_dummy_spec()], tune=False)
+        assert {s.design for s in result.scores} == {"d0", "d1", "d2", "d3"}
+        assert "stray" not in result.design_order

@@ -1,0 +1,135 @@
+"""Tests for the fault-tolerant runner: retries, timeouts, failure log."""
+
+import time
+
+import pytest
+
+from repro.runtime import (
+    FailureLog,
+    FailureRecord,
+    FaultTolerantRunner,
+    RetryPolicy,
+    StageFailure,
+    StageTimeout,
+)
+
+
+def _no_sleep(_s: float) -> None:
+    pass
+
+
+class TestRetryPolicy:
+    def test_attempt_budget(self):
+        assert RetryPolicy().max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+        assert RetryPolicy(max_retries=-5).max_attempts == 1
+
+    def test_exponential_backoff_with_cap(self):
+        p = RetryPolicy(max_retries=5, backoff_base_s=1.0, backoff_cap_s=5.0)
+        assert [p.backoff(i) for i in (1, 2, 3, 4)] == [1.0, 2.0, 4.0, 5.0]
+
+    def test_zero_base_means_no_sleep(self):
+        assert RetryPolicy(max_retries=2).backoff(1) == 0.0
+
+
+class TestRunner:
+    def test_success_passthrough(self):
+        runner = FaultTolerantRunner()
+        out = runner.run_unit("s", "u", lambda a, b: a + b, 2, b=3)
+        assert out.ok and out.value == 5
+        assert not runner.failures
+
+    def test_retry_then_succeed(self):
+        calls = {"n": 0}
+
+        def flaky():
+            calls["n"] += 1
+            if calls["n"] < 3:
+                raise RuntimeError("transient")
+            return "done"
+
+        runner = FaultTolerantRunner(RetryPolicy(max_retries=2), sleep=_no_sleep)
+        out = runner.run_unit("s", "flaky", flaky)
+        assert out.ok and out.value == "done"
+        assert calls["n"] == 3
+        assert not runner.failures  # eventual success leaves no record
+
+    def test_backoff_sleeps_between_attempts(self):
+        slept = []
+        runner = FaultTolerantRunner(
+            RetryPolicy(max_retries=2, backoff_base_s=0.5), sleep=slept.append
+        )
+        out = runner.run_unit("s", "u", lambda: 1 / 0)
+        assert not out.ok
+        assert slept == [0.5, 1.0]  # between 3 attempts, exponential
+
+    def test_exhausted_budget_records_failure(self):
+        runner = FaultTolerantRunner(RetryPolicy(max_retries=1), sleep=_no_sleep)
+        out = runner.run_unit("flow", "bad", lambda: 1 / 0)
+        assert not out.ok
+        assert out.failure is not None
+        rec = runner.failures.records[0]
+        assert (rec.stage, rec.unit, rec.attempts) == ("flow", "bad", 2)
+        assert rec.error_type == "ZeroDivisionError"
+
+    def test_fail_fast_raises_stage_failure_with_cause(self):
+        runner = FaultTolerantRunner(fail_fast=True)
+        with pytest.raises(StageFailure) as exc_info:
+            runner.run_unit("flow", "boom", lambda: 1 / 0)
+        assert isinstance(exc_info.value.__cause__, ZeroDivisionError)
+        assert exc_info.value.stage == "flow"
+        assert exc_info.value.unit == "boom"
+        assert runner.failures  # still recorded before raising
+
+    def test_timeout_enforced(self):
+        runner = FaultTolerantRunner(RetryPolicy(timeout_s=0.05))
+        out = runner.run_unit("slow", "u", time.sleep, 5.0)
+        assert not out.ok
+        assert out.failure.error_type == "StageTimeout"
+
+    def test_timeout_fail_fast_raises_stage_timeout(self):
+        runner = FaultTolerantRunner(RetryPolicy(timeout_s=0.05), fail_fast=True)
+        with pytest.raises(StageTimeout):
+            runner.run_unit("slow", "u", time.sleep, 5.0)
+
+    def test_fast_unit_passes_under_timeout(self):
+        runner = FaultTolerantRunner(RetryPolicy(timeout_s=5.0))
+        out = runner.run_unit("s", "u", lambda: "quick")
+        assert out.ok and out.value == "quick"
+
+    def test_keyboard_interrupt_propagates(self):
+        def interrupted():
+            raise KeyboardInterrupt
+
+        runner = FaultTolerantRunner(RetryPolicy(max_retries=5), sleep=_no_sleep)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run_unit("s", "u", interrupted)
+        assert not runner.failures  # not a unit failure
+
+
+class TestFailureLog:
+    def _rec(self, unit="u") -> FailureRecord:
+        return FailureRecord(
+            stage="flow", unit=unit, attempts=2,
+            error_type="RuntimeError", message="boom", elapsed_s=1.5,
+        )
+
+    def test_summary_and_units(self):
+        log = FailureLog()
+        assert log.summary() == "no failures"
+        log.record(self._rec("a"))
+        log.record(self._rec("b"))
+        assert len(log) == 2
+        assert log.units() == ["flow/a", "flow/b"]
+        assert "2 failed unit(s)" in log.summary()
+        assert "flow/a: RuntimeError" in log.summary()
+
+    def test_save_json(self, tmp_path):
+        import json
+
+        log = FailureLog()
+        log.record(self._rec())
+        path = log.save(tmp_path / "failures.json")
+        doc = json.loads(path.read_text())
+        assert doc[0]["unit"] == "u"
+        assert doc[0]["attempts"] == 2
