@@ -19,6 +19,10 @@ Each (model, group) pair is one *unit* of the fault-tolerant runtime: it is
 retried/skipped per the runner's policy, validated (NaN/Inf/shape guards)
 before fit and predict, and — when a ``checkpoint_dir`` is given — its
 scores are checkpointed so an interrupted grid resumes where it stopped.
+Every unit checkpoint embeds a SHA-256 fingerprint of the suite contents and
+the protocol knobs (:func:`suite_fingerprint`), so checkpoints produced
+against a different suite — e.g. one degraded by a failed design flow — are
+rejected and recomputed on resume instead of silently reused.
 
 The result object carries everything Table II reports: per-design metric
 rows, per-model averages and winning-design counts, #parameters,
@@ -27,6 +31,7 @@ rows, per-model averages and winning-design counts, #parameters,
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -186,6 +191,28 @@ def _metrics_from_json(row: dict[str, Any]) -> EvaluationResult:
     )
 
 
+def suite_fingerprint(
+    suite: SuiteDataset, target_fpr: float, tune: bool
+) -> str:
+    """SHA-256 over the suite's exact contents plus the protocol knobs.
+
+    Embedded in every (model, group) checkpoint and checked on resume: a
+    checkpoint trained on a *different* suite — fewer designs because a flow
+    failed that run, different features, different ``target_fpr``/``tune`` —
+    fingerprints differently and is recomputed instead of silently reused.
+    """
+    h = hashlib.sha256()
+    h.update(f"target_fpr={target_fpr!r};tune={bool(tune)}".encode())
+    for d in suite.designs:
+        h.update(f"|{d.name};g{d.group};{d.grid_nx}x{d.grid_ny};".encode())
+        # hash the float32 disk projection: the suite cache and the design
+        # checkpoints store X as float32, so a freshly flowed suite and its
+        # cache-loaded round-trip must fingerprint identically
+        h.update(np.ascontiguousarray(d.X, dtype=np.float32).tobytes())
+        h.update(np.ascontiguousarray(d.y, dtype=np.int8).tobytes())
+    return h.hexdigest()
+
+
 def _fit_and_score_group(
     suite: SuiteDataset,
     spec: ModelSpec,
@@ -291,11 +318,16 @@ def run_experiment(
     unit is recorded in ``runner.failures`` and its group is skipped for that
     model, degrading Table II instead of aborting it.  With a
     ``checkpoint_dir``, finished units are checkpointed and a re-invocation
-    resumes from them.
+    resumes from them — but only when the stored suite fingerprint matches
+    the suite being run, so units trained on a degraded or otherwise
+    different suite are recomputed rather than reused.
     """
     if runner is None:
         runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
+    fingerprint = (
+        suite_fingerprint(suite, target_fpr, tune) if store is not None else None
+    )
 
     # ad-hoc sentinel groups (< 0) never form a test fold
     groups_present = sorted({d.group for d in suite.designs if d.group >= 0})
@@ -311,7 +343,16 @@ def run_experiment(
             unit: GroupUnitResult | None = None
             if store is not None and resume and store.has(key):
                 try:
-                    unit = GroupUnitResult.from_json(store.load_json(key))
+                    doc = store.load_json(key)
+                    if (
+                        not isinstance(doc, dict)
+                        or doc.get("suite_fingerprint") != fingerprint
+                    ):
+                        raise CacheCorruptionError(
+                            f"{key}: checkpoint was produced against a "
+                            "different suite or protocol (stale fingerprint)"
+                        )
+                    unit = GroupUnitResult.from_json(doc.get("unit", {}))
                 except CacheCorruptionError:
                     store.invalidate(key)
             if unit is None:
@@ -327,7 +368,10 @@ def run_experiment(
                 if unit is None:
                     continue  # no positives in the training stack
                 if store is not None:
-                    store.save_json(key, unit.to_json())
+                    store.save_json(
+                        key,
+                        {"suite_fingerprint": fingerprint, "unit": unit.to_json()},
+                    )
 
             stats.train_minutes += unit.train_minutes
             stats.predict_minutes_per_design += unit.predict_minutes

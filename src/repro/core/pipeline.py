@@ -144,6 +144,19 @@ def run_flow(
     )
 
 
+def _run_flow_validated(recipe: DesignRecipe, *args, **kwargs) -> FlowResult:
+    """``run_flow`` plus the NaN/Inf/shape guard, as one fault-tolerant unit.
+
+    Validating *inside* the unit means a design whose flow produces a
+    non-finite feature matrix is retried/recorded/skipped by the runner like
+    any other unit failure, instead of aborting a non-fail-fast suite build.
+    """
+    result = run_flow(recipe, *args, **kwargs)
+    validate_features(result.X, result.y, name=recipe.name,
+                      expect_features=NUM_FEATURES)
+    return result
+
+
 #: JSON sidecar fields persisted next to the dataset cache for Table I.
 _STATS_FIELDS = (
     "name",
@@ -223,7 +236,9 @@ def _load_suite_cache(
     """Load a cache pair if both halves exist and pass integrity checks.
 
     Any torn, legacy-format, or corrupted state invalidates the *pair*
-    (both files removed) and returns ``None`` so the caller rebuilds.
+    (both files removed) and returns ``None`` so the caller rebuilds.  A
+    transient read error (``OSError``) also returns ``None`` but leaves the
+    pair on disk — an NFS hiccup must not destroy a valid, expensive cache.
     """
     if not (cache_path.exists() and sidecar.exists()):
         if cache_path.exists() or sidecar.exists():
@@ -242,10 +257,11 @@ def _load_suite_cache(
         for d in suite.designs:
             validate_features(d.X, d.y, name=d.name, expect_features=NUM_FEATURES)
         stats = [DesignStats(**row) for row in doc["stats"]]
+    except OSError:
+        return None  # transient I/O failure: rebuild this run, keep the pair
     except (
         CacheCorruptionError,
         ValidationError,
-        OSError,
         ValueError,
         KeyError,
         TypeError,
@@ -336,12 +352,10 @@ def build_suite_dataset(
                     print(f"  {recipe.name:<12s} checkpoint invalid ({exc}); re-running",
                           flush=True)
 
-        outcome = runner.run_unit("flow", recipe.name, run_flow, recipe)
+        outcome = runner.run_unit("flow", recipe.name, _run_flow_validated, recipe)
         if not outcome.ok:
             continue  # recorded in runner.failures; degrade the suite
         result: FlowResult = outcome.value
-        validate_features(result.X, result.y, name=recipe.name,
-                          expect_features=NUM_FEATURES)
         datasets.append(result.dataset)
         stats.append(result.stats)
         if store is not None:

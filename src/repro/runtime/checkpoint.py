@@ -38,6 +38,10 @@ CHECKPOINT_FORMAT_VERSION = 2
 
 _KEY_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._\-]*$")
 
+#: Filename of the per-store manifest; never a valid payload key, or a
+#: ``save_bytes("manifest.json", ...)`` would overwrite the manifest itself.
+_MANIFEST_NAME = "manifest.json"
+
 
 def sha256_bytes(data: bytes) -> str:
     return hashlib.sha256(data).hexdigest()
@@ -77,7 +81,7 @@ class CheckpointStore:
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
-        self.manifest_path = self.root / "manifest.json"
+        self.manifest_path = self.root / _MANIFEST_NAME
 
     # -- manifest -----------------------------------------------------------------
 
@@ -106,7 +110,7 @@ class CheckpointStore:
     # -- primitives ---------------------------------------------------------------
 
     def _path_of(self, key: str) -> Path:
-        if not _KEY_RE.match(key):
+        if not _KEY_RE.match(key) or key == _MANIFEST_NAME:
             raise ValueError(f"invalid checkpoint key {key!r}")
         return self.root / key
 

@@ -33,6 +33,17 @@ from .checkpoint import atomic_write_text
 from .errors import StageFailure, StageTimeout
 
 
+class _AttemptTimeout(Exception):
+    """Internal marker: an attempt exhausted its wall-clock budget.
+
+    Distinct from :class:`TimeoutError` on purpose — on Python 3.11+ the
+    builtin is an alias of ``concurrent.futures.TimeoutError`` (and of
+    socket/asyncio timeouts), so a unit function raising its *own*
+    ``TimeoutError`` must stay an ordinary unit failure, not be mistaken
+    for the runner's stage timeout.
+    """
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """Retry/backoff/timeout budget applied to every unit of a runner."""
@@ -161,7 +172,7 @@ class FaultTolerantRunner:
             try:
                 value = self._attempt(name, fn, args, kwargs)
                 return UnitOutcome(value=value)
-            except FutureTimeoutError:
+            except _AttemptTimeout:
                 timed_out = True
                 last_exc = None
             except Exception as exc:
@@ -207,7 +218,17 @@ class FaultTolerantRunner:
             return run()
         pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix=f"unit-{name}")
         try:
-            return pool.submit(run).result(timeout=self.policy.timeout_s)
+            fut = pool.submit(run)
+            try:
+                return fut.result(timeout=self.policy.timeout_s)
+            except FutureTimeoutError:
+                if fut.done():
+                    # the unit finished in the race window between the budget
+                    # expiring and this check — its own result/exception wins
+                    # (a unit raising TimeoutError itself lands here too and
+                    # propagates as an ordinary unit failure)
+                    return fut.result()
+                raise _AttemptTimeout(name) from None
         finally:
             pool.shutdown(wait=False)
 
@@ -216,5 +237,7 @@ def _describe(
     exc: BaseException | None, timed_out: bool, policy: RetryPolicy
 ) -> str:
     if timed_out:
+        if policy.timeout_s is None:
+            return "timed out"
         return f"timed out after {policy.timeout_s:g}s"
     return f"{type(exc).__name__}: {exc}"

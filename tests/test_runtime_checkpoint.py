@@ -119,6 +119,16 @@ class TestCheckpointStore:
             with pytest.raises(ValueError):
                 store.save_bytes(bad, b"x")
 
+    def test_manifest_filename_is_a_reserved_key(self, store):
+        store.save_bytes("k.bin", b"data")
+        with pytest.raises(ValueError, match="invalid checkpoint key"):
+            store.save_bytes("manifest.json", b"payload over the manifest")
+        with pytest.raises(ValueError, match="invalid checkpoint key"):
+            store.load_bytes("manifest.json")
+        # the store survived the attempt intact
+        assert store.verify("k.bin")
+        assert list(store.keys()) == ["k.bin"]
+
     def test_undecodable_array_payload(self, store):
         store.save_bytes("x.npz", b"not an npz at all")
         with pytest.raises(CacheCorruptionError, match="array payload"):

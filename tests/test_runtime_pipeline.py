@@ -159,6 +159,23 @@ class TestCorruptionRecovery:
 
         assert doc["npz_sha256"] == sha256_of(cache)
 
+    def test_transient_read_error_keeps_cache_pair(self, tmp_path, monkeypatch):
+        cache = tmp_path / "suite.npz"
+        sidecar = cache.with_suffix(".stats.json")
+        build_suite_dataset(SCALE, cache_path=cache)
+
+        def denied(path, *args, **kwargs):
+            raise OSError("transient EACCES")
+
+        monkeypatch.setattr(pipeline, "sha256_of", denied)
+        # transient I/O failure: fall back to a rebuild, but do NOT destroy
+        # the valid, expensive-to-rebuild pair
+        assert pipeline._load_suite_cache(cache, sidecar) is None
+        assert cache.exists() and sidecar.exists()
+
+        monkeypatch.undo()
+        assert pipeline._load_suite_cache(cache, sidecar) is not None
+
     def test_legacy_sidecar_format_is_invalidated(self, tmp_path, counted_run_flow):
         cache = tmp_path / "suite.npz"
         build_suite_dataset(SCALE, cache_path=cache)
@@ -195,6 +212,30 @@ class TestGracefulDegradation:
         assert counted_run_flow == [victim]
         assert len(suite2.designs) == 14
         assert cache.exists()
+
+    def test_nan_features_degrade_suite_instead_of_aborting(
+        self, tmp_path, monkeypatch
+    ):
+        victim = SUITE_ORDER[3]
+        real = pipeline.run_flow
+
+        def poisoned(recipe, *args, **kwargs):
+            result = real(recipe, *args, **kwargs)
+            if recipe.name == victim:
+                result.X[0, 0] = np.nan
+            return result
+
+        monkeypatch.setattr(pipeline, "run_flow", poisoned)
+        runner = FaultTolerantRunner(fail_fast=False)
+        suite, _ = build_suite_dataset(
+            SCALE, cache_path=tmp_path / "suite.npz", runner=runner
+        )
+        # validation runs inside the unit: the NaN design is recorded and
+        # skipped like any other unit failure, not a suite-wide abort
+        assert victim not in suite.names
+        assert len(suite.designs) == 13
+        assert runner.failures.units() == [f"flow/{victim}"]
+        assert runner.failures.records[0].error_type == "ValidationError"
 
     def test_all_designs_failing_raises(self, tmp_path):
         runner = FaultTolerantRunner(fail_fast=False)
@@ -270,6 +311,43 @@ class TestExperimentFaultTolerance:
         assert [
             (s.design, s.metrics.a_prc) for s in second.scores
         ] == [(s.design, s.metrics.a_prc) for s in first.scores]
+
+    def test_stale_checkpoints_from_degraded_suite_are_rejected(self, tmp_path):
+        # one design's flow failed -> the grid ran (and checkpointed) against
+        # a degraded suite; resuming with the repaired suite must recompute
+        # every unit, not reuse the stale ones
+        full = _synthetic_suite()
+        degraded = SuiteDataset(full.designs[:3])  # d3 "failed" that run
+        ckpt = tmp_path / "exp.ckpt"
+        _DummyModel.fit_calls = 0
+        run_experiment(degraded, [_dummy_spec()], tune=False, checkpoint_dir=ckpt)
+        fits_degraded = _DummyModel.fit_calls
+        assert fits_degraded == 2  # both groups still present in the suite
+
+        result = run_experiment(
+            full, [_dummy_spec()], tune=False, checkpoint_dir=ckpt
+        )
+        assert _DummyModel.fit_calls == fits_degraded + 2  # all units refit
+        assert {s.design for s in result.scores} == {"d0", "d1", "d2", "d3"}
+
+        # and the repaired-suite checkpoints now resume cleanly
+        run_experiment(full, [_dummy_spec()], tune=False, checkpoint_dir=ckpt)
+        assert _DummyModel.fit_calls == fits_degraded + 2
+
+    def test_checkpoints_bound_to_protocol_knobs(self, tmp_path):
+        suite = _synthetic_suite()
+        ckpt = tmp_path / "exp.ckpt"
+        _DummyModel.fit_calls = 0
+        run_experiment(
+            suite, [_dummy_spec()], target_fpr=0.005, tune=False,
+            checkpoint_dir=ckpt,
+        )
+        assert _DummyModel.fit_calls == 2
+        run_experiment(
+            suite, [_dummy_spec()], target_fpr=0.01, tune=False,
+            checkpoint_dir=ckpt,
+        )
+        assert _DummyModel.fit_calls == 4  # different FPR* -> no reuse
 
     def test_interrupted_grid_resumes_only_missing_units(self, tmp_path):
         suite = _synthetic_suite()

@@ -97,6 +97,30 @@ class TestRunner:
         out = runner.run_unit("s", "u", lambda: "quick")
         assert out.ok and out.value == "quick"
 
+    def test_unit_raising_timeout_error_is_ordinary_failure(self):
+        # On 3.11+ builtin TimeoutError aliases concurrent.futures.TimeoutError;
+        # a unit's own timeout (socket/asyncio) must stay a normal unit failure
+        # — with timeout_s=None it used to be misread as a stage timeout and
+        # crash _describe on formatting None.
+        def unit():
+            raise TimeoutError("socket timed out")
+
+        runner = FaultTolerantRunner(RetryPolicy(max_retries=1), sleep=_no_sleep)
+        out = runner.run_unit("s", "u", unit)
+        assert not out.ok
+        rec = runner.failures.records[0]
+        assert (rec.error_type, rec.attempts) == ("TimeoutError", 2)
+        assert "socket timed out" in rec.message
+
+    def test_unit_raising_timeout_error_under_wall_clock_budget(self):
+        def unit():
+            raise TimeoutError("inner")
+
+        runner = FaultTolerantRunner(RetryPolicy(timeout_s=5.0))
+        out = runner.run_unit("s", "u", unit)
+        assert not out.ok
+        assert out.failure.error_type == "TimeoutError"  # not StageTimeout
+
     def test_keyboard_interrupt_propagates(self):
         def interrupted():
             raise KeyboardInterrupt
