@@ -1,0 +1,163 @@
+"""Benchmark smoke run: timing snapshot written to ``BENCH_timing.json``.
+
+Times the three perf-critical paths introduced with the parallel runtime —
+suite build (serial vs. ``--jobs``), experiment grid (serial vs. parallel),
+and Tree SHAP (batched vs. per-sample reference) — at a small scale so CI
+can track the perf trajectory on every push::
+
+    PYTHONPATH=src python benchmarks/smoke.py --scale 0.5 --jobs 4 --check
+
+``--check`` additionally asserts the acceptance floors: batched SHAP >= 5x
+the per-sample loop on a 1000-sample batch (always), and parallel >= 2x
+serial for suite+experiment (only on machines with >= 4 CPUs — a 1-core
+runner cannot speed anything up, but the numbers are still recorded).  The
+per-sample SHAP reference is timed on a subset and extrapolated linearly
+(the loop is exactly linear in n); both raw timings are recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.experiment import run_experiment
+from repro.core.models import model_zoo
+from repro.core.pipeline import build_suite_dataset
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.shap.tree_explainer import TreeShapExplainer
+from repro.runtime import FaultTolerantRunner, ParallelRunner
+
+
+def _bench_suite(scale: float, jobs: int, tmp: Path) -> dict:
+    serial_npz = tmp / "serial.npz"
+    t0 = time.perf_counter()
+    suite, _ = build_suite_dataset(
+        scale, cache_path=serial_npz, runner=FaultTolerantRunner(fail_fast=True)
+    )
+    serial_s = time.perf_counter() - t0
+
+    parallel_npz = tmp / "parallel.npz"
+    t0 = time.perf_counter()
+    build_suite_dataset(
+        scale, cache_path=parallel_npz, runner=ParallelRunner(jobs, fail_fast=True)
+    )
+    parallel_s = time.perf_counter() - t0
+
+    identical = (
+        hashlib.sha256(serial_npz.read_bytes()).hexdigest()
+        == hashlib.sha256(parallel_npz.read_bytes()).hexdigest()
+    )
+    return {
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+        "cache_byte_identical": identical,
+        "_suite": suite,
+    }
+
+
+def _bench_experiment(suite, jobs: int) -> dict:
+    models = [m for m in model_zoo("fast") if m.name in ("RUSBoost", "NN-1", "RF")]
+    t0 = time.perf_counter()
+    run_experiment(suite, models, tune=False,
+                   runner=FaultTolerantRunner(fail_fast=True))
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    run_experiment(suite, models, tune=False,
+                   runner=ParallelRunner(jobs, fail_fast=True))
+    parallel_s = time.perf_counter() - t0
+    return {
+        "serial_s": round(serial_s, 3),
+        "parallel_s": round(parallel_s, 3),
+        "speedup": round(serial_s / parallel_s, 2),
+    }
+
+
+def _bench_shap(batch_size: int = 1000, ref_samples: int = 200) -> dict:
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(1500, 40))
+    y = (X[:, 0] + X[:, 3] * X[:, 5] - X[:, 7] > 0).astype(np.int8)
+    rf = RandomForestClassifier(n_estimators=20, max_depth=8, random_state=0)
+    rf.fit(X, y)
+    explainer = TreeShapExplainer(rf.trees, X.shape[1])
+    batch = X[:batch_size]
+
+    t0 = time.perf_counter()
+    phi_batch = explainer.shap_values(batch)
+    batched_s = time.perf_counter() - t0
+
+    ref = batch[:ref_samples]
+    t0 = time.perf_counter()
+    phi_ref = np.vstack([explainer.shap_values_single(x) for x in ref])
+    ref_s = time.perf_counter() - t0
+    single_s_extrapolated = ref_s / ref_samples * batch_size
+
+    return {
+        "batch_size": batch_size,
+        "batched_s": round(batched_s, 3),
+        "single_ref_samples": ref_samples,
+        "single_ref_s": round(ref_s, 3),
+        "single_s_extrapolated": round(single_s_extrapolated, 3),
+        "speedup": round(single_s_extrapolated / batched_s, 1),
+        "max_abs_diff_vs_single": float(
+            np.abs(phi_batch[:ref_samples] - phi_ref).max()
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("-j", "--jobs", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_timing.json"))
+    parser.add_argument("--check", action="store_true",
+                        help="assert the acceptance speedup floors")
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    doc: dict = {
+        "scale": args.scale,
+        "jobs": args.jobs,
+        "cpu_count": cpus,
+        "python": sys.version.split()[0],
+    }
+
+    with tempfile.TemporaryDirectory() as td:
+        suite_res = _bench_suite(args.scale, args.jobs, Path(td))
+    suite = suite_res.pop("_suite")
+    doc["suite_build"] = suite_res
+    print(f"suite build   : {suite_res}", flush=True)
+
+    doc["experiment"] = _bench_experiment(suite, args.jobs)
+    print(f"experiment    : {doc['experiment']}", flush=True)
+
+    doc["tree_shap"] = _bench_shap()
+    print(f"tree shap     : {doc['tree_shap']}", flush=True)
+
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        assert doc["suite_build"]["cache_byte_identical"], "parallel cache differs"
+        shap = doc["tree_shap"]
+        assert shap["max_abs_diff_vs_single"] <= 1e-10, "batched SHAP drifted"
+        assert shap["speedup"] >= 5.0, f"SHAP speedup {shap['speedup']} < 5x"
+        if cpus >= 4:
+            for key in ("suite_build", "experiment"):
+                speedup = doc[key]["speedup"]
+                assert speedup >= 2.0, f"{key} speedup {speedup} < 2x"
+        else:
+            print(f"note: {cpus} CPU(s) — parallel speedup floors not asserted")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

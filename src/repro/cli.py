@@ -13,11 +13,15 @@ Commands
 ``features``   List the 387 canonical feature names.
 
 All heavy commands accept ``--cache`` (default on) so the 14-design flow
-runs only once per scale, plus the resilience flags ``--resume/--no-resume``,
+runs only once per scale, the resilience flags ``--resume/--no-resume``,
 ``--max-retries``, ``--retry-backoff``, ``--timeout`` and ``--fail-fast``
-(see :mod:`repro.runtime`).  Exit codes: 0 success, 1 runtime error, 2 usage
-error, 3 completed but degraded (some units failed and were skipped; the
-failure log is printed to stderr).
+(see :mod:`repro.runtime`), and ``-j/--jobs N`` to fan design flows and
+(model, group) experiment units out across N worker processes (default 1 =
+serial; results are bit-identical either way).  Checkpoint directories are
+derived from the *default* cache location, not the ``--cache`` flag, so
+``--no-cache`` runs still resume from checkpoints.  Exit codes: 0 success,
+1 runtime error, 2 usage error, 3 completed but degraded (some units failed
+and were skipped; the failure log is printed to stderr).
 """
 
 from __future__ import annotations
@@ -31,16 +35,24 @@ from .core.evaluation import format_table2, summarize_shape
 from .core.experiment import run_experiment
 from .core.explain import explain_hotspots
 from .core.models import model_zoo
-from .core.pipeline import build_suite_dataset, default_cache_path, run_flow
+from .core.pipeline import (
+    build_suite_dataset,
+    checkpoint_dir_for,
+    default_cache_path,
+    run_flow,
+)
 from .features.names import describe_feature, feature_names
 from .layout.design_stats import format_table1, group_statistics
-from .runtime import FaultTolerantRunner, ReproRuntimeError, RetryPolicy
+from .runtime import FaultTolerantRunner, ParallelRunner, ReproRuntimeError, RetryPolicy
 
 #: Exit code when a run finished but some units failed and were skipped.
 EXIT_DEGRADED = 3
 
 
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for design flows and experiment "
+                        "units (default 1 = serial; same results either way)")
     p.add_argument("--no-resume", dest="resume", action="store_false",
                    help="ignore existing checkpoints; recompute every unit")
     p.add_argument("--max-retries", type=int, default=0, metavar="N",
@@ -60,7 +72,20 @@ def _runner_from_args(args: argparse.Namespace) -> FaultTolerantRunner:
         backoff_base_s=args.retry_backoff if args.max_retries else 0.0,
         timeout_s=args.timeout,
     )
+    jobs = getattr(args, "jobs", 1)
+    if jobs > 1:
+        return ParallelRunner(jobs, policy, fail_fast=args.fail_fast, verbose=True)
     return FaultTolerantRunner(policy, fail_fast=args.fail_fast, verbose=True)
+
+
+def _suite_checkpoint_dir(scale: float):
+    """Suite checkpoint dir, independent of ``--cache``.
+
+    Deriving it from the *default* cache path (rather than the possibly
+    ``None`` ``--cache`` value) keeps ``--resume`` meaningful under
+    ``--no-cache`` instead of silently no-opping.
+    """
+    return checkpoint_dir_for(default_cache_path(scale))
 
 
 def _report_failures(runner: FaultTolerantRunner) -> int:
@@ -78,6 +103,7 @@ def _suite(args: argparse.Namespace) -> int:
     suite, stats = build_suite_dataset(
         args.scale, cache_path=cache, verbose=True,
         runner=runner, resume=args.resume,
+        checkpoint_dir=_suite_checkpoint_dir(args.scale),
     )
     by_name = {s.name: s for s in stats}
     rows = []
@@ -93,7 +119,8 @@ def _table2(args: argparse.Namespace) -> int:
     cache = default_cache_path(args.scale) if args.cache else None
     runner = _runner_from_args(args)
     suite, _ = build_suite_dataset(
-        args.scale, cache_path=cache, runner=runner, resume=args.resume
+        args.scale, cache_path=cache, runner=runner, resume=args.resume,
+        checkpoint_dir=_suite_checkpoint_dir(args.scale),
     )
     models = model_zoo(args.preset)
     if args.models:
@@ -102,11 +129,9 @@ def _table2(args: argparse.Namespace) -> int:
         if not models:
             print(f"no models match {args.models!r}", file=sys.stderr)
             return 2
-    ckpt = (
-        cache.with_suffix(f".table2-{args.preset}.ckpt")
-        if cache is not None
-        else None
-    )
+    # derived from the default cache location, not --cache, so that
+    # --no-cache --resume still resumes (it used to silently no-op)
+    ckpt = default_cache_path(args.scale).with_suffix(f".table2-{args.preset}.ckpt")
     result = run_experiment(
         suite, models, tune=True, verbose=True,
         runner=runner, checkpoint_dir=ckpt, resume=args.resume,
@@ -120,19 +145,27 @@ def _table2(args: argparse.Namespace) -> int:
 
 
 def _explain(args: argparse.Namespace) -> int:
-    cache = default_cache_path(args.scale) if args.cache else None
-    suite, _ = build_suite_dataset(args.scale, cache_path=cache)
     group_of(args.design)  # validate the name early
+    cache = default_cache_path(args.scale) if args.cache else None
+    runner = _runner_from_args(args)
+    suite, _ = build_suite_dataset(
+        args.scale, cache_path=cache, runner=runner, resume=args.resume,
+        checkpoint_dir=_suite_checkpoint_dir(args.scale),
+    )
     from .bench.suite import SUITE_RECIPES
 
-    flow = run_flow(SUITE_RECIPES[args.design])
+    outcome = runner.run_unit(
+        "explain", args.design, run_flow, SUITE_RECIPES[args.design]
+    )
+    if not outcome.ok:
+        return _report_failures(runner) or 1
     reports = explain_hotspots(
-        suite, flow, num_hotspots=args.num, preset=args.preset
+        suite, outcome.value, num_hotspots=args.num, preset=args.preset
     )
     for report in reports:
         print(report.render())
         print()
-    return 0
+    return _report_failures(runner)
 
 
 def _report(args: argparse.Namespace) -> int:
@@ -140,12 +173,21 @@ def _report(args: argparse.Namespace) -> int:
     from .core.explain import train_explanation_forest
 
     cache = default_cache_path(args.scale) if args.cache else None
-    suite, _ = build_suite_dataset(args.scale, cache_path=cache)
+    runner = _runner_from_args(args)
+    suite, _ = build_suite_dataset(
+        args.scale, cache_path=cache, runner=runner, resume=args.resume,
+        checkpoint_dir=_suite_checkpoint_dir(args.scale),
+    )
     dataset = suite.by_name(args.design)
-    model = train_explanation_forest(suite, args.design, preset=args.preset)
-    scores = model.predict_proba(dataset.X)[:, 1]
+    outcome = runner.run_unit(
+        "report", args.design, train_explanation_forest,
+        suite, args.design, preset=args.preset,
+    )
+    if not outcome.ok:
+        return _report_failures(runner) or 1
+    scores = outcome.value.predict_proba(dataset.X)[:, 1]
     print(design_report(dataset, scores, top_k=args.top))
-    return 0
+    return _report_failures(runner)
 
 
 def _flow(args: argparse.Namespace) -> int:
@@ -208,6 +250,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--preset", choices=("fast", "full"), default="fast")
     p.add_argument("--no-cache", dest="cache", action="store_false")
+    _add_resilience_flags(p)
     p.set_defaults(func=_explain)
 
     p = sub.add_parser("report", help="full prediction report for one design")
@@ -216,6 +259,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--preset", choices=("fast", "full"), default="fast")
     p.add_argument("--no-cache", dest="cache", action="store_false")
+    _add_resilience_flags(p)
     p.set_defaults(func=_report)
 
     p = sub.add_parser("flow", help="run the flow on one ad-hoc design")

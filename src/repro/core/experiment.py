@@ -82,11 +82,21 @@ class ExperimentResult:
     model_order: list[str]
     target_fpr: float
 
+    def _score_index(self) -> dict[tuple[str, str], EvaluationResult]:
+        """Lazy (design, model) → metrics index; first entry wins on
+        duplicates, matching the linear scan this replaced.  Rebuilt if the
+        scores list grew (callers may construct the result incrementally)."""
+        cache = self.__dict__.get("_index_cache")
+        if cache is None or self.__dict__.get("_index_len") != len(self.scores):
+            cache = {}
+            for s in self.scores:
+                cache.setdefault((s.design, s.model), s.metrics)
+            self.__dict__["_index_cache"] = cache
+            self.__dict__["_index_len"] = len(self.scores)
+        return cache
+
     def score_of(self, design: str, model: str) -> EvaluationResult | None:
-        for s in self.scores:
-            if s.design == design and s.model == model:
-                return s.metrics
-        return None
+        return self._score_index().get((design, model))
 
     # -- aggregates -----------------------------------------------------------------
 
@@ -314,13 +324,23 @@ def run_experiment(
     """Run the full leave-one-group-out protocol for every model.
 
     Every (model, group) pair runs as one fault-tolerant unit under
-    ``runner`` (default: fail-fast).  With a non-fail-fast runner a failing
-    unit is recorded in ``runner.failures`` and its group is skipped for that
-    model, degrading Table II instead of aborting it.  With a
-    ``checkpoint_dir``, finished units are checkpointed and a re-invocation
-    resumes from them — but only when the stored suite fingerprint matches
-    the suite being run, so units trained on a degraded or otherwise
-    different suite are recomputed rather than reused.
+    ``runner`` (default: fail-fast, serial; a
+    :class:`~repro.runtime.parallel.ParallelRunner` fans a model's group
+    units out across worker processes).  With a non-fail-fast runner a
+    failing unit is recorded in ``runner.failures`` and its group is skipped
+    for that model, degrading Table II instead of aborting it.  With a
+    ``checkpoint_dir``, finished units are checkpointed — always from the
+    parent process — and a re-invocation resumes from them, but only when
+    the stored suite fingerprint matches the suite being run, so units
+    trained on a degraded or otherwise different suite are recomputed rather
+    than reused.
+
+    Per-unit CPU times (``train_minutes``, ``predict_minutes``) are measured
+    with ``time.process_time()`` *inside* the unit body and shipped back in
+    the :class:`GroupUnitResult`: a worker's CPU time is invisible to the
+    parent's process clock, so measuring in the parent would report ~0 for
+    parallel runs.  Aggregation iterates groups in sorted order, so a
+    parallel run's Table II is identical to a serial one.
     """
     if runner is None:
         runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
@@ -338,9 +358,10 @@ def run_experiment(
         stats = ModelRunStats(model=spec.name)
         n_models = 0
         n_pred_designs = 0
+        unit_results: dict[int, GroupUnitResult] = {}
+        pending: list[int] = []
         for g in groups_present:
             key = f"{spec.name}__g{g}.json"
-            unit: GroupUnitResult | None = None
             if store is not None and resume and store.has(key):
                 try:
                     doc = store.load_json(key)
@@ -352,27 +373,50 @@ def run_experiment(
                             f"{key}: checkpoint was produced against a "
                             "different suite or protocol (stale fingerprint)"
                         )
-                    unit = GroupUnitResult.from_json(doc.get("unit", {}))
+                    unit_results[g] = GroupUnitResult.from_json(doc.get("unit", {}))
+                    continue
                 except CacheCorruptionError:
                     store.invalidate(key)
+            pending.append(g)
+
+        def _unit_done(
+            unit_name: str,
+            outcome,
+            *,
+            _results: dict[int, GroupUnitResult] = unit_results,
+            _model: str = spec.name,
+        ) -> None:
+            # parent-side: checkpoint writes never happen in a worker
+            if not outcome.ok:
+                return  # recorded in runner.failures; degrade Table II
+            unit: GroupUnitResult | None = outcome.value
             if unit is None:
-                outcome = runner.run_unit(
-                    "experiment",
+                return  # no positives in the training stack
+            _results[unit.group] = unit
+            if store is not None:
+                store.save_json(
+                    f"{_model}__g{unit.group}.json",
+                    {"suite_fingerprint": fingerprint, "unit": unit.to_json()},
+                )
+
+        runner.run_units(
+            "experiment",
+            [
+                (
                     f"{spec.name}__g{g}",
                     _fit_and_score_group,
-                    suite, spec, g, target_fpr, tune, verbose,
+                    (suite, spec, g, target_fpr, tune, verbose),
+                    {},
                 )
-                if not outcome.ok:
-                    continue  # recorded in runner.failures; degrade Table II
-                unit = outcome.value
-                if unit is None:
-                    continue  # no positives in the training stack
-                if store is not None:
-                    store.save_json(
-                        key,
-                        {"suite_fingerprint": fingerprint, "unit": unit.to_json()},
-                    )
+                for g in pending
+            ],
+            on_result=_unit_done,
+        )
 
+        for g in groups_present:  # sorted: aggregation order is deterministic
+            unit = unit_results.get(g)
+            if unit is None:
+                continue
             stats.train_minutes += unit.train_minutes
             stats.predict_minutes_per_design += unit.predict_minutes
             stats.best_params_per_group[g] = unit.params

@@ -19,6 +19,7 @@ ordering changes (the ablation bench sweeps wider ranges).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Any, Callable
 
 from ..ml.boosting import RUSBoostClassifier
@@ -29,13 +30,68 @@ from ..ml.svm import SVMClassifier
 
 @dataclass(frozen=True)
 class ModelSpec:
-    """One Table II column: how to build and tune a model."""
+    """One Table II column: how to build and tune a model.
+
+    ``factory`` must be picklable (a module-level callable or a
+    ``functools.partial`` over one): specs cross the process boundary when
+    (model, group) units run under a
+    :class:`~repro.runtime.parallel.ParallelRunner`.
+    """
 
     name: str
     factory: Callable[..., Any]
     param_grid: dict[str, list[Any]] = field(default_factory=dict)
     #: whether inputs must be standardised (SVM, NNs)
     needs_scaling: bool = False
+
+
+# Module-level builders bound with functools.partial rather than closures:
+# closures cannot be pickled, and model specs ride to worker processes.
+
+
+def _make_svm(C: float = 10.0, *, svm_cap: int, svm_iter: int,
+              random_state: int, **kw) -> SVMClassifier:
+    return SVMClassifier(
+        C=C,
+        gamma="scale",
+        max_train_samples=svm_cap,
+        max_iter=svm_iter,
+        random_state=random_state,
+        **kw,
+    )
+
+
+def _make_rus(max_depth: int = 8, *, rus_rounds: int,
+              random_state: int, **kw) -> RUSBoostClassifier:
+    return RUSBoostClassifier(
+        n_estimators=rus_rounds,
+        max_depth=max_depth,
+        random_state=random_state,
+        **kw,
+    )
+
+
+def _make_nn(learning_rate: float = 1e-3, *, hidden_layers: tuple[int, ...],
+             nn_epochs: int, random_state: int, **kw) -> MLPClassifier:
+    return MLPClassifier(
+        hidden_layers=hidden_layers,
+        epochs=nn_epochs,
+        learning_rate=learning_rate,
+        random_state=random_state,
+        **kw,
+    )
+
+
+def _make_rf(min_samples_leaf: int = 1, *, rf_trees: int, full: bool,
+             random_state: int, **kw) -> RandomForestClassifier:
+    return RandomForestClassifier(
+        n_estimators=rf_trees,
+        min_samples_leaf=min_samples_leaf,
+        max_features="sqrt",
+        max_samples=None if full else 0.7,
+        random_state=random_state,
+        **kw,
+    )
 
 
 def model_zoo(preset: str = "fast", random_state: int = 0) -> list[ModelSpec]:
@@ -50,69 +106,35 @@ def model_zoo(preset: str = "fast", random_state: int = 0) -> list[ModelSpec]:
     svm_cap = 6000 if full else 2500
     svm_iter = 300_000 if full else 60_000
 
-    def make_svm(C: float = 10.0, **kw) -> SVMClassifier:
-        return SVMClassifier(
-            C=C,
-            gamma="scale",
-            max_train_samples=svm_cap,
-            max_iter=svm_iter,
-            random_state=random_state,
-            **kw,
-        )
-
-    def make_rus(max_depth: int = 8, **kw) -> RUSBoostClassifier:
-        return RUSBoostClassifier(
-            n_estimators=rus_rounds,
-            max_depth=max_depth,
-            random_state=random_state,
-            **kw,
-        )
-
-    def make_nn1(learning_rate: float = 1e-3, **kw) -> MLPClassifier:
-        return MLPClassifier(
-            hidden_layers=(40,),
-            epochs=nn_epochs,
-            learning_rate=learning_rate,
-            random_state=random_state,
-            **kw,
-        )
-
-    def make_nn2(learning_rate: float = 1e-3, **kw) -> MLPClassifier:
-        return MLPClassifier(
-            hidden_layers=(40, 10),
-            epochs=nn_epochs,
-            learning_rate=learning_rate,
-            random_state=random_state,
-            **kw,
-        )
-
-    def make_rf(min_samples_leaf: int = 1, **kw) -> RandomForestClassifier:
-        return RandomForestClassifier(
-            n_estimators=rf_trees,
-            min_samples_leaf=min_samples_leaf,
-            max_features="sqrt",
-            max_samples=None if full else 0.7,
-            random_state=random_state,
-            **kw,
-        )
-
     return [
         ModelSpec(
             "SVM-RBF",
-            make_svm,
+            partial(_make_svm, svm_cap=svm_cap, svm_iter=svm_iter,
+                    random_state=random_state),
             param_grid={"C": [1.0, 10.0]},
             needs_scaling=True,
         ),
         ModelSpec(
             "RUSBoost",
-            make_rus,
+            partial(_make_rus, rus_rounds=rus_rounds, random_state=random_state),
             param_grid={"max_depth": [6, 10]} if full else {},
         ),
-        ModelSpec("NN-1", make_nn1, needs_scaling=True),
-        ModelSpec("NN-2", make_nn2, needs_scaling=True),
+        ModelSpec(
+            "NN-1",
+            partial(_make_nn, hidden_layers=(40,), nn_epochs=nn_epochs,
+                    random_state=random_state),
+            needs_scaling=True,
+        ),
+        ModelSpec(
+            "NN-2",
+            partial(_make_nn, hidden_layers=(40, 10), nn_epochs=nn_epochs,
+                    random_state=random_state),
+            needs_scaling=True,
+        ),
         ModelSpec(
             "RF",
-            make_rf,
+            partial(_make_rf, rf_trees=rf_trees, full=full,
+                    random_state=random_state),
             param_grid={"min_samples_leaf": [1, 4]} if full else {},
         ),
     ]

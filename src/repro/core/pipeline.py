@@ -12,7 +12,7 @@ report (validation of explanations), and the Table I statistics row.
 
 ``build_suite_dataset`` runs the whole 14-design suite and assembles the
 grouped :class:`~repro.features.dataset.SuiteDataset`.  The suite builder is
-fault-tolerant and resumable (see :mod:`repro.runtime`):
+fault-tolerant, resumable, and parallelisable (see :mod:`repro.runtime`):
 
 * every completed design flow is checkpointed (atomic write + SHA-256
   checksum) under ``<cache>.ckpt/``, so an interrupted run re-runs only the
@@ -22,7 +22,12 @@ fault-tolerant and resumable (see :mod:`repro.runtime`):
   cache is rebuilt (cheaply, from checkpoints) instead of loaded;
 * a failing design can degrade the suite (recorded in the runner's failure
   log and skipped, like the paper's footnote-3 designs) instead of killing
-  the run, when the caller passes a non-``fail_fast`` runner.
+  the run, when the caller passes a non-``fail_fast`` runner;
+* with a :class:`~repro.runtime.parallel.ParallelRunner`, design flows fan
+  out across worker processes.  Workers ship back a picklable
+  :class:`FlowPayload`; results are re-ordered to recipe order and all
+  checkpoint/cache writes stay in the parent, so a parallel build produces a
+  byte-identical cache pair and ``suite_fingerprint`` to a serial one.
 """
 
 from __future__ import annotations
@@ -49,7 +54,12 @@ from ..layout.netlist import Design
 from ..layout.placemap import PlacementMaps
 from ..place.placer import PlacerConfig, place_design
 from ..route.router import RouterConfig, RoutingResult, route_design
-from ..runtime.checkpoint import CheckpointStore, atomic_write_text, sha256_of
+from ..runtime.checkpoint import (
+    CheckpointStore,
+    atomic_write_text,
+    sha256_of,
+    unique_tmp_suffix,
+)
 from ..runtime.errors import CacheCorruptionError, StageFailure, ValidationError
 from ..runtime.runner import FaultTolerantRunner
 from ..runtime.validation import validate_features
@@ -157,6 +167,30 @@ def _run_flow_validated(recipe: DesignRecipe, *args, **kwargs) -> FlowResult:
     return result
 
 
+@dataclass
+class FlowPayload:
+    """The picklable slice of a :class:`FlowResult` the suite builder needs.
+
+    Parallel workers return this instead of the full ``FlowResult`` so only
+    the dataset, the Table I row, and the stage timings cross the process
+    boundary — not the design netlist, routing grid, and placement maps.
+    """
+
+    dataset: DesignDataset
+    stats: DesignStats
+    stage_seconds: dict[str, float]
+
+
+def _flow_unit_payload(recipe: DesignRecipe) -> FlowPayload:
+    """One suite-builder unit: full validated flow, reduced to its payload."""
+    result = _run_flow_validated(recipe)
+    return FlowPayload(
+        dataset=result.dataset,
+        stats=result.stats,
+        stage_seconds=result.stage_seconds,
+    )
+
+
 #: JSON sidecar fields persisted next to the dataset cache for Table I.
 _STATS_FIELDS = (
     "name",
@@ -181,7 +215,9 @@ def checkpoint_dir_for(cache_path: str | Path) -> Path:
     return Path(cache_path).with_suffix(".ckpt")
 
 
-def _save_design_checkpoint(store: CheckpointStore, result: FlowResult) -> None:
+def _save_design_checkpoint(
+    store: CheckpointStore, result: FlowResult | FlowPayload
+) -> None:
     d = result.dataset
     store.save_arrays(
         f"{d.name}.npz",
@@ -277,8 +313,9 @@ def _write_suite_cache(
 ) -> None:
     """Atomically write the cache pair: npz first, then the checksummed sidecar."""
     cache_path.parent.mkdir(parents=True, exist_ok=True)
-    # temp name keeps the .npz suffix — np.savez appends one otherwise
-    tmp = cache_path.with_name(f".{cache_path.stem}.tmp{os.getpid()}.npz")
+    # temp name keeps the .npz suffix — np.savez appends one otherwise;
+    # pid alone is not collision-free (threads / re-entrant writers share one)
+    tmp = cache_path.with_name(f".{cache_path.stem}.tmp{unique_tmp_suffix()}.npz")
     try:
         suite.save(tmp)
         os.replace(tmp, cache_path)
@@ -312,13 +349,16 @@ def build_suite_dataset(
 
     When ``cache_path`` is given and holds a valid cache pair, the dataset
     and stats are loaded with checksum verification.  Otherwise designs run
-    one by one under ``runner`` (default: fail-fast, no retries); each
-    finished design is checkpointed under ``checkpoint_dir`` (default:
+    as independent units under ``runner`` (default: fail-fast, no retries,
+    serial; a :class:`~repro.runtime.parallel.ParallelRunner` fans them out
+    across worker processes).  Each finished design is checkpointed — always
+    from the parent process — under ``checkpoint_dir`` (default:
     ``<cache_path>.ckpt``) so a re-invocation after an interrupt re-runs only
     the unfinished flows.  With a non-fail-fast runner, a permanently failing
     design is recorded in ``runner.failures`` and skipped; the degraded suite
     is returned but the shared cache pair is only written when all designs
-    succeeded.
+    succeeded.  Results are assembled in recipe order regardless of worker
+    completion order, so serial and parallel builds are byte-identical.
     """
     sidecar: Path | None = None
     if cache_path is not None:
@@ -334,15 +374,14 @@ def build_suite_dataset(
         checkpoint_dir = checkpoint_dir_for(cache_path)
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
 
-    datasets: list[DesignDataset] = []
-    stats: list[DesignStats] = []
-    for recipe in suite_recipes(scale):
+    recipes = suite_recipes(scale)
+    done: dict[str, tuple[DesignDataset, DesignStats]] = {}
+    pending: list[DesignRecipe] = []
+    for recipe in recipes:
         key = f"{recipe.name}.npz"
         if store is not None and resume and store.has(key):
             try:
-                dataset, srow = _load_design_checkpoint(store, recipe.name)
-                datasets.append(dataset)
-                stats.append(srow)
+                done[recipe.name] = _load_design_checkpoint(store, recipe.name)
                 if verbose:
                     print(f"  {recipe.name:<12s} resumed from checkpoint", flush=True)
                 continue
@@ -351,22 +390,35 @@ def build_suite_dataset(
                 if verbose:
                     print(f"  {recipe.name:<12s} checkpoint invalid ({exc}); re-running",
                           flush=True)
+        pending.append(recipe)
 
-        outcome = runner.run_unit("flow", recipe.name, _run_flow_validated, recipe)
+    def _flow_done(unit: str, outcome) -> None:
+        # runs in the parent as each unit completes (any completion order):
+        # the single-writer invariant of the checkpoint store holds even
+        # when the unit bodies ran in worker processes
         if not outcome.ok:
-            continue  # recorded in runner.failures; degrade the suite
-        result: FlowResult = outcome.value
-        datasets.append(result.dataset)
-        stats.append(result.stats)
+            return  # recorded in runner.failures; degrade the suite
+        payload: FlowPayload = outcome.value
+        done[unit] = (payload.dataset, payload.stats)
         if store is not None:
-            _save_design_checkpoint(store, result)
+            _save_design_checkpoint(store, payload)
         if verbose:
             print(
-                f"  {recipe.name:<12s} {result.stats.num_gcells:>6d} g-cells "
-                f"{result.stats.num_hotspots:>5d} hotspots "
-                f"({sum(result.stage_seconds.values()):.1f}s)",
+                f"  {unit:<12s} {payload.stats.num_gcells:>6d} g-cells "
+                f"{payload.stats.num_hotspots:>5d} hotspots "
+                f"({sum(payload.stage_seconds.values()):.1f}s)",
                 flush=True,
             )
+
+    runner.run_units(
+        "flow",
+        [(r.name, _flow_unit_payload, (r,), {}) for r in pending],
+        on_result=_flow_done,
+    )
+
+    # re-assemble in recipe order so a parallel build is byte-identical
+    datasets = [done[r.name][0] for r in recipes if r.name in done]
+    stats = [done[r.name][1] for r in recipes if r.name in done]
 
     if not datasets:
         raise StageFailure("flow", "suite", 1, "every design in the suite failed")
@@ -378,8 +430,35 @@ def build_suite_dataset(
     return suite, stats
 
 
+#: Where this package's source tree lives; ``<root>/src/repro/core/pipeline.py``
+#: in a checkout, ``site-packages/repro/core/pipeline.py`` when installed.
+_SOURCE_ROOT = Path(__file__).resolve().parents[3]
+
+
+def default_cache_root() -> Path:
+    """Root directory for suite caches and their checkpoint stores.
+
+    Resolution order:
+
+    1. ``$DRCSHAP_CACHE_DIR`` when set — the explicit override;
+    2. ``<checkout>/.cache`` when running from a source/editable checkout
+       (detected by the repo's ``pyproject.toml`` next to ``src/``);
+    3. a per-user cache dir (``$XDG_CACHE_HOME/drcshap`` or
+       ``~/.cache/drcshap``) otherwise — an installed package must never
+       write into its own install tree (site-packages is often read-only
+       and always shared).
+    """
+    env = os.environ.get("DRCSHAP_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    if (_SOURCE_ROOT / "pyproject.toml").is_file():
+        return _SOURCE_ROOT / ".cache"
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "drcshap"
+
+
 def default_cache_path(scale: float = 1.0) -> Path:
     """Canonical cache location for a suite at the given scale."""
-    root = Path(__file__).resolve().parents[3] / ".cache"
     tag = f"suite_scale{scale:g}".replace(".", "p")
-    return root / f"{tag}.npz"
+    return default_cache_root() / f"{tag}.npz"

@@ -11,12 +11,34 @@ re-run without re-routing all 14 designs.
 
 from __future__ import annotations
 
+import io
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
 import numpy as np
+from numpy.lib import format as npy_format
 
 from .names import NUM_FEATURES
+
+#: Fixed zip-entry timestamp (the DOS epoch).  ``np.savez`` stamps each
+#: archive member with wall-clock time, so two runs producing identical
+#: arrays still yield different bytes; suite caches must instead be
+#: byte-identical whenever their contents are (serial vs. parallel builds,
+#: checksum-stable artefacts), so we write the archive ourselves.
+_ZIP_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+def _write_npz_deterministic(path: Path, payload: dict[str, np.ndarray]) -> None:
+    """Write an ``np.load``-compatible .npz whose bytes depend only on data."""
+    with zipfile.ZipFile(path, "w", zipfile.ZIP_DEFLATED) as zf:
+        for name, arr in payload.items():
+            buf = io.BytesIO()
+            npy_format.write_array(buf, np.asanyarray(arr), allow_pickle=False)
+            info = zipfile.ZipInfo(f"{name}.npy", date_time=_ZIP_EPOCH)
+            info.compress_type = zipfile.ZIP_DEFLATED
+            info.external_attr = 0o644 << 16
+            zf.writestr(info, buf.getvalue())
 
 
 @dataclass
@@ -119,7 +141,7 @@ class SuiteDataset:
         for d in self.designs:
             payload[f"X_{d.name}"] = d.X.astype(np.float32)  # compact on disk
             payload[f"y_{d.name}"] = d.y
-        np.savez_compressed(path, **payload)
+        _write_npz_deterministic(path, payload)
         return path
 
     @staticmethod

@@ -50,6 +50,11 @@ class _LeafGroup:
     seg_feature: np.ndarray  # (S,) global feature id
     seg_threshold: np.ndarray  # (S,)
     seg_is_left: np.ndarray  # (S,) bool: the path takes the left branch
+    #: (L·D,) start index of each (row, slot) segment run.  The builder emits
+    #: segments row-major with slots in increasing order, so every (row, slot)
+    #: pair owns one contiguous run — ``np.logical_and.reduceat`` over these
+    #: starts evaluates all one-fractions of a whole sample batch at once.
+    seg_starts: np.ndarray
 
 
 def _collect_leaf_paths(
@@ -111,17 +116,23 @@ def _build_groups(tree: TreeArrays) -> list[_LeafGroup]:
                     seg_feature.append(feat)
                     seg_threshold.append(thr)
                     seg_is_left.append(is_left)
+        rows = np.asarray(seg_row, dtype=np.int64)
+        slots_arr = np.asarray(seg_slot, dtype=np.int64)
+        starts = np.flatnonzero(
+            np.r_[True, (rows[1:] != rows[:-1]) | (slots_arr[1:] != slots_arr[:-1])]
+        )
         groups.append(
             _LeafGroup(
                 depth=depth,
                 leaf_value=leaf_value,
                 z=z,
                 slot_feature=slot_feature,
-                seg_row=np.asarray(seg_row, dtype=np.int64),
-                seg_slot=np.asarray(seg_slot, dtype=np.int64),
+                seg_row=rows,
+                seg_slot=slots_arr,
                 seg_feature=np.asarray(seg_feature, dtype=np.int64),
                 seg_threshold=np.asarray(seg_threshold),
                 seg_is_left=np.asarray(seg_is_left, dtype=bool),
+                seg_starts=starts,
             )
         )
     return groups
@@ -168,6 +179,55 @@ def _group_phi(group: _LeafGroup, x: np.ndarray, phi: np.ndarray) -> None:
         np.add.at(phi, group.slot_feature[:, k - 1], contrib)
 
 
+def _group_phi_batch(group: _LeafGroup, X: np.ndarray, phi: np.ndarray) -> None:
+    """Add one leaf-group's SHAP contributions for a batch ``X`` into ``phi``.
+
+    The EXTEND/UNWIND recurrences of :func:`_group_phi` with a leading sample
+    axis: every arithmetic expression keeps the exact operand order of the
+    single-sample version, so the two agree to float precision while the
+    Python-level loops stay O(D²) *total* instead of O(D²) per sample.
+    ``phi`` is the (n, num_features) accumulator.
+    """
+    D = group.depth
+    L = len(group.leaf_value)
+    n = X.shape[0]
+    # one-fractions: AND each (leaf, slot) segment run, all samples at once
+    sat = (X[:, group.seg_feature] < group.seg_threshold) == group.seg_is_left
+    o = np.logical_and.reduceat(sat, group.seg_starts, axis=1)
+    o = o.reshape(n, L, D).astype(np.float64)
+    z = group.z  # (L, D), broadcasts against the (n, L) sample-leaf planes
+
+    # EXTEND: coalition-size weight polynomial, vectorised over (sample, leaf)
+    W = np.zeros((n, L, D + 1))
+    W[..., 0] = 1.0
+    for t in range(1, D + 1):
+        zt = z[:, t - 1]
+        ot = o[..., t - 1]
+        for i in range(t - 1, -1, -1):
+            W[..., i + 1] += ot * W[..., i] * ((i + 1) / (t + 1))
+            W[..., i] = zt * W[..., i] * ((t - i) / (t + 1))
+
+    # UNWIND each slot and accumulate its contribution
+    rows = np.arange(n)[:, None]
+    for k in range(1, D + 1):
+        one = o[..., k - 1]
+        zero = z[:, k - 1]
+        one_safe = np.where(one != 0.0, one, 1.0)
+        zero_safe = np.where(zero != 0.0, zero, 1.0)
+        next_one = W[..., D].copy()
+        total = np.zeros((n, L))
+        for i in range(D - 1, -1, -1):
+            tmp = next_one * ((D + 1) / ((i + 1) * one_safe))
+            branch_one = tmp
+            next_one = np.where(
+                one != 0.0, W[..., i] - tmp * zero * ((D - i) / (D + 1)), next_one
+            )
+            branch_zero = W[..., i] / (zero_safe * ((D - i) / (D + 1)))
+            total += np.where(one != 0.0, branch_one, branch_zero)
+        contrib = total * (one - zero) * group.leaf_value
+        np.add.at(phi, (rows, group.slot_feature[:, k - 1]), contrib)
+
+
 class TreeShapExplainer:
     """SHAP tree explainer for one tree or an averaged ensemble.
 
@@ -184,8 +244,18 @@ class TreeShapExplainer:
         #: E[f(x)] over the training distribution (paper Eq. 1 base value)
         self.expected_value = float(np.mean([t.value[0] for t in trees]))
 
+    #: Samples per batched EXTEND/UNWIND pass.  Bounds the (chunk, L, D+1)
+    #: weight-polynomial tensor while keeping the per-chunk Python overhead
+    #: negligible against the vectorised arithmetic.
+    chunk_size = 512
+
     def shap_values_single(self, x: np.ndarray) -> np.ndarray:
-        """SHAP values (num_features,) for one sample."""
+        """SHAP values (num_features,) for one sample.
+
+        Reference implementation: :meth:`shap_values` runs the same
+        recurrences batched across samples and is property-tested to agree
+        with this method to float precision.
+        """
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.shape != (self.num_features,):
             raise ValueError(f"expected {self.num_features} features")
@@ -198,4 +268,16 @@ class TreeShapExplainer:
     def shap_values(self, X: np.ndarray) -> np.ndarray:
         """SHAP values (n, num_features) for a batch of samples."""
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
-        return np.vstack([self.shap_values_single(x) for x in X])
+        if X.ndim != 2 or X.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected (n, {self.num_features}) samples, got {X.shape}"
+            )
+        phi = np.zeros((X.shape[0], self.num_features))
+        for start in range(0, X.shape[0], self.chunk_size):
+            chunk = X[start:start + self.chunk_size]
+            out = phi[start:start + self.chunk_size]
+            for groups in self._groups_per_tree:
+                for group in groups:
+                    _group_phi_batch(group, chunk, out)
+        phi /= len(self._groups_per_tree)
+        return phi

@@ -8,6 +8,8 @@ long-running path resumable and failure-isolated:
   with SHA-256 content checksums and format-version stamping;
 * :mod:`repro.runtime.runner` — per-unit try/except isolation, retry with
   backoff, wall-clock timeouts, and a structured failure log;
+* :mod:`repro.runtime.parallel` — a process-pool runner with the same unit
+  semantics, for fanning independent units out across CPU cores;
 * :mod:`repro.runtime.validation` — NaN/Inf/shape/dtype guards on feature
   matrices and label vectors;
 * :mod:`repro.runtime.errors` — the typed error taxonomy
@@ -27,6 +29,7 @@ from .errors import (
     ValidationError,
 )
 from .faults import FaultSpec, inject_faults
+from .parallel import ParallelRunner
 from .runner import FailureLog, FailureRecord, FaultTolerantRunner, RetryPolicy, UnitOutcome
 from .validation import validate_features
 
@@ -39,6 +42,7 @@ __all__ = [
     "FaultInjected",
     "FaultSpec",
     "FaultTolerantRunner",
+    "ParallelRunner",
     "ReproRuntimeError",
     "RetryPolicy",
     "StageFailure",

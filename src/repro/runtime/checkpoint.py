@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import io
+import itertools
 import json
 import os
 import re
@@ -59,11 +60,22 @@ def sha256_of(path: str | Path, chunk: int = 1 << 20) -> str:
     return h.hexdigest()
 
 
+#: Process-wide monotonic counter for temp-file names.  A pid alone is not
+#: unique enough: two writers sharing a process (threads, or a re-entrant
+#: call) would race on the same temp path and could tear each other's write.
+_TMP_COUNTER = itertools.count()
+
+
+def unique_tmp_suffix() -> str:
+    """A temp-name component unique per (process, call): ``<pid>-<counter>``."""
+    return f"{os.getpid()}-{next(_TMP_COUNTER)}"
+
+
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
     """Write ``data`` to ``path`` via a same-directory temp file + rename."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f".{path.name}.tmp{os.getpid()}")
+    tmp = path.with_name(f".{path.name}.tmp{unique_tmp_suffix()}")
     try:
         tmp.write_bytes(data)
         os.replace(tmp, path)

@@ -1,0 +1,252 @@
+"""Process-pool execution of fault-tolerant units.
+
+:class:`ParallelRunner` is a drop-in :class:`~repro.runtime.runner.FaultTolerantRunner`
+whose :meth:`run_units` dispatches unit bodies to a
+``concurrent.futures.ProcessPoolExecutor`` while keeping every serial-runner
+semantic:
+
+* **retry/backoff** — each unit gets ``1 + max_retries`` attempts; a failed
+  attempt re-queues the unit and it becomes eligible again only after its
+  exponential backoff elapses (other units keep the workers busy meanwhile);
+* **wall-clock timeout** — enforced *inside* the worker process with the same
+  abandoned-thread technique the serial runner uses, so a timed-out attempt
+  reports back immediately and is retried or recorded as
+  :class:`~repro.runtime.errors.StageTimeout`.  The abandoned daemon thread
+  keeps computing until its unit body returns (safe for our pure-compute
+  units), which also means per-attempt CPU measurements must happen inside
+  the unit body, not in the parent — a child's CPU time is invisible to the
+  parent's ``time.process_time()``;
+* **structured failure log / fail-fast vs. degrade** — permanently failed
+  units land in :attr:`failures`; ``fail_fast=True`` raises and cancels
+  whatever has not started yet;
+* **fault injection** — :func:`repro.runtime.faults.fire` runs in the
+  *parent* at the start of every attempt (worker processes never see the
+  fault plan), so ``inject_faults`` scenarios stay deterministic under
+  parallel execution;
+* **parent-side checkpointing** — the ``on_result`` callback runs in the
+  parent as each unit completes, so all checkpoint-store and cache writes
+  keep a single writer process and the atomic-write invariants hold.
+
+Workers receive ``(fn, args, kwargs)`` by pickle; unit functions and their
+arguments must therefore be module-level picklable objects.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from . import faults
+from .errors import StageFailure, StageTimeout
+from .runner import (
+    FailureRecord,
+    FaultTolerantRunner,
+    RetryPolicy,
+    UnitOutcome,
+    UnitSpec,
+    _describe,
+)
+
+#: How long the dispatch loop blocks waiting for worker completions before
+#: re-checking backoff expiries (seconds).
+_POLL_S = 0.05
+
+
+class _WorkerTimeout(Exception):
+    """Picklable marker: a worker-side attempt exhausted its wall-clock budget."""
+
+
+def _worker_attempt(
+    fn: Callable[..., Any], args: tuple, kwargs: dict, timeout_s: float | None
+) -> Any:
+    """Run one unit attempt inside a worker process, enforcing the budget.
+
+    Mirrors the serial runner's thread trick: the unit body runs on a daemon
+    thread and the budget is a ``join`` timeout.  A unit that finishes inside
+    the race window between expiry and the liveness check wins with its own
+    result/exception, exactly like the serial path; a unit raising its own
+    ``TimeoutError`` stays an ordinary unit failure.
+    """
+    if timeout_s is None:
+        return fn(*args, **kwargs)
+    result: list[Any] = []
+    error: list[BaseException] = []
+
+    def body() -> None:
+        try:
+            result.append(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: B036 - re-raised below, to the parent
+            error.append(exc)
+
+    thread = threading.Thread(target=body, daemon=True)
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise _WorkerTimeout()
+    if error:
+        raise error[0]
+    return result[0]
+
+
+@dataclass
+class _UnitState:
+    """Parent-side bookkeeping for one unit's attempts."""
+
+    index: int
+    unit: str
+    fn: Callable[..., Any]
+    args: tuple
+    kwargs: dict
+    attempt: int = 0
+    t_start: float | None = None
+    eligible_at: float = 0.0
+    timed_out: bool = field(default=False, compare=False)
+    last_exc: BaseException | None = None
+
+
+class ParallelRunner(FaultTolerantRunner):
+    """A fault-tolerant runner that fans units out to worker processes."""
+
+    def __init__(
+        self,
+        jobs: int,
+        policy: RetryPolicy | None = None,
+        fail_fast: bool = False,
+        verbose: bool = False,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        super().__init__(policy, fail_fast=fail_fast, verbose=verbose, sleep=sleep)
+        self.jobs = jobs
+
+    def run_units(
+        self,
+        stage: str,
+        units: list[UnitSpec],
+        on_result: Callable[[str, UnitOutcome], None] | None = None,
+    ) -> list[UnitOutcome]:
+        """Run a batch of units on the pool; outcomes return in input order."""
+        if self.jobs == 1 or len(units) <= 1:
+            return super().run_units(stage, units, on_result)
+
+        outcomes: dict[int, UnitOutcome] = {}
+        states = [
+            _UnitState(index=i, unit=u, fn=fn, args=a, kwargs=k)
+            for i, (u, fn, a, k) in enumerate(units)
+        ]
+        queue: list[_UnitState] = list(states)  # waiting for (re-)submission
+        running: dict[Future, _UnitState] = {}
+
+        def finish(st: _UnitState, outcome: UnitOutcome) -> None:
+            outcomes[st.index] = outcome
+            if on_result is not None:
+                on_result(st.unit, outcome)
+
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            try:
+                while queue or running:
+                    now = time.monotonic()
+                    backlog: list[_UnitState] = []
+                    for st in queue:
+                        if st.eligible_at > now:
+                            backlog.append(st)
+                            continue
+                        if st.t_start is None:
+                            st.t_start = now
+                        st.attempt += 1
+                        try:
+                            # the fault plan lives in the parent: fire here,
+                            # not in the worker, so injection is deterministic
+                            faults.fire(f"{stage}/{st.unit}")
+                        except Exception as exc:
+                            retry = self._attempt_failed(stage, st, False, exc)
+                            if retry is not None:
+                                backlog.append(st)
+                            else:
+                                finish(st, UnitOutcome(failure=self.failures.records[-1]))
+                            continue
+                        fut = pool.submit(
+                            _worker_attempt, st.fn, st.args, st.kwargs,
+                            self.policy.timeout_s,
+                        )
+                        running[fut] = st
+                    queue = backlog
+
+                    if not running:
+                        if queue:  # everything is backing off: sleep it out
+                            pause = min(st.eligible_at for st in queue) - time.monotonic()
+                            if pause > 0:
+                                self._sleep(pause)
+                        continue
+
+                    done, _ = wait(running, timeout=_POLL_S, return_when=FIRST_COMPLETED)
+                    for fut in done:
+                        st = running.pop(fut)
+                        try:
+                            value = fut.result()
+                        except (KeyboardInterrupt, SystemExit):
+                            raise
+                        except _WorkerTimeout:
+                            if self._attempt_failed(stage, st, True, None) is not None:
+                                queue.append(st)
+                            else:
+                                finish(st, UnitOutcome(failure=self.failures.records[-1]))
+                        except Exception as exc:
+                            if self._attempt_failed(stage, st, False, exc) is not None:
+                                queue.append(st)
+                            else:
+                                finish(st, UnitOutcome(failure=self.failures.records[-1]))
+                        else:
+                            finish(st, UnitOutcome(value=value))
+            except BaseException:
+                for fut in running:
+                    fut.cancel()
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+        return [outcomes[i] for i in range(len(units))]
+
+    def _attempt_failed(
+        self,
+        stage: str,
+        st: _UnitState,
+        timed_out: bool,
+        exc: BaseException | None,
+    ) -> _UnitState | None:
+        """Handle one failed attempt: schedule a retry or record the failure.
+
+        Returns the state when the unit should be re-queued, ``None`` when it
+        is permanently failed (recorded; raises when ``fail_fast``).
+        """
+        st.timed_out = timed_out
+        st.last_exc = exc
+        name = f"{stage}/{st.unit}"
+        if st.attempt < self.policy.max_attempts:
+            st.eligible_at = time.monotonic() + self.policy.backoff(st.attempt)
+            if self.verbose:
+                print(
+                    f"  retrying {name} (attempt {st.attempt} failed: "
+                    f"{_describe(exc, timed_out, self.policy)})",
+                    flush=True,
+                )
+            return st
+
+        rec = FailureRecord(
+            stage=stage,
+            unit=st.unit,
+            attempts=st.attempt,
+            error_type="StageTimeout" if timed_out else type(exc).__name__,
+            message=_describe(exc, timed_out, self.policy),
+            elapsed_s=time.monotonic() - (st.t_start or time.monotonic()),
+        )
+        self.failures.record(rec)
+        if self.verbose:
+            print(f"  FAILED {name}: {rec.message}", flush=True)
+        if self.fail_fast:
+            if timed_out:
+                raise StageTimeout(stage, st.unit, st.attempt, self.policy.timeout_s or 0.0)
+            raise StageFailure(stage, st.unit, st.attempt, rec.message) from exc
+        return None

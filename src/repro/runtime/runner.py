@@ -32,6 +32,9 @@ from . import faults
 from .checkpoint import atomic_write_text
 from .errors import StageFailure, StageTimeout
 
+#: One schedulable unit of work: ``(unit_name, fn, args, kwargs)``.
+UnitSpec = tuple[str, Callable[..., Any], tuple, dict]
+
 
 class _AttemptTimeout(Exception):
     """Internal marker: an attempt exhausted its wall-clock budget.
@@ -206,6 +209,31 @@ class FaultTolerantRunner:
                 raise StageTimeout(stage, unit, attempts, self.policy.timeout_s or 0.0)
             raise StageFailure(stage, unit, attempts, rec.message) from last_exc
         return UnitOutcome(failure=rec)
+
+    def run_units(
+        self,
+        stage: str,
+        units: list[UnitSpec],
+        on_result: Callable[[str, UnitOutcome], None] | None = None,
+    ) -> list[UnitOutcome]:
+        """Run a batch of units; returns outcomes in the order given.
+
+        ``on_result(unit_name, outcome)`` is invoked in the *calling* process
+        as each unit finishes, which is where callers must perform checkpoint
+        writes — parallel runners dispatch the unit bodies to workers but keep
+        this callback in the parent so the atomic-write invariants of the
+        checkpoint store hold (exactly one writer process per store).
+
+        The serial implementation runs units in order; ``fail_fast`` raises
+        out of the loop exactly like repeated :meth:`run_unit` calls would.
+        """
+        outcomes: list[UnitOutcome] = []
+        for unit, fn, args, kwargs in units:
+            outcome = self.run_unit(stage, unit, fn, *args, **kwargs)
+            if on_result is not None:
+                on_result(unit, outcome)
+            outcomes.append(outcome)
+        return outcomes
 
     def _attempt(
         self, name: str, fn: Callable[..., Any], args: tuple, kwargs: dict

@@ -1,0 +1,91 @@
+"""Cache-location resolution and temp-file naming.
+
+Regression coverage for two latent bugs: ``default_cache_path`` hard-wired
+caches into the package's install tree (read-only/shared for installed
+packages, and blind to ``$DRCSHAP_CACHE_DIR``), and atomic-write temp names
+embedded only the PID, so two writers in one process — threads, or the same
+re-entrant call — could collide.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import repro.core.pipeline as pipeline
+from repro.core.pipeline import default_cache_path, default_cache_root
+from repro.runtime.checkpoint import atomic_write_bytes, unique_tmp_suffix
+
+
+class TestDefaultCacheRoot:
+    def test_env_var_overrides_everything(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("DRCSHAP_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    def test_env_var_expands_user(self, monkeypatch):
+        monkeypatch.setenv("DRCSHAP_CACHE_DIR", "~/drc-caches")
+        assert default_cache_root() == Path.home() / "drc-caches"
+
+    def test_source_checkout_uses_repo_dot_cache(self, monkeypatch):
+        monkeypatch.delenv("DRCSHAP_CACHE_DIR", raising=False)
+        assert (pipeline._SOURCE_ROOT / "pyproject.toml").is_file()
+        assert default_cache_root() == pipeline._SOURCE_ROOT / ".cache"
+
+    def test_installed_package_falls_back_to_user_cache(self, tmp_path, monkeypatch):
+        # simulate site-packages: no pyproject.toml above the package
+        monkeypatch.delenv("DRCSHAP_CACHE_DIR", raising=False)
+        monkeypatch.delenv("XDG_CACHE_HOME", raising=False)
+        monkeypatch.setattr(pipeline, "_SOURCE_ROOT", tmp_path / "site-packages")
+        assert default_cache_root() == Path.home() / ".cache" / "drcshap"
+
+    def test_installed_package_honours_xdg(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("DRCSHAP_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        monkeypatch.setattr(pipeline, "_SOURCE_ROOT", tmp_path / "site-packages")
+        assert default_cache_root() == tmp_path / "xdg" / "drcshap"
+
+    def test_cache_path_embeds_scale(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("DRCSHAP_CACHE_DIR", str(tmp_path))
+        assert default_cache_path(1.0) == tmp_path / "suite_scale1.npz"
+        assert default_cache_path(0.3) == tmp_path / "suite_scale0p3.npz"
+        # distinct scales must never share a cache file
+        assert default_cache_path(0.3) != default_cache_path(0.35)
+
+
+class TestUniqueTmpSuffix:
+    def test_suffixes_are_unique_within_a_process(self):
+        suffixes = {unique_tmp_suffix() for _ in range(100)}
+        assert len(suffixes) == 100
+
+    def test_suffix_still_carries_pid(self):
+        # the PID keeps cross-process names disjoint; the counter handles
+        # same-process concurrency
+        assert str(os.getpid()) in unique_tmp_suffix()
+
+    def test_atomic_writes_interleave_without_collision(self, tmp_path):
+        import threading
+
+        target = tmp_path / "shared.bin"
+        errors: list[Exception] = []
+
+        def writer(payload: bytes) -> None:
+            try:
+                for _ in range(20):
+                    atomic_write_bytes(target, payload)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(bytes([i]) * 64,))
+            for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # the final file is one writer's payload, intact — never interleaved
+        data = target.read_bytes()
+        assert len(data) == 64 and len(set(data)) == 1
+        # no orphaned temp files survive
+        assert list(tmp_path.glob(".*.tmp*")) == []

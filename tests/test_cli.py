@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import EXIT_DEGRADED, main
+from repro.runtime.faults import FaultSpec, inject_faults
 
 
 class TestCLI:
@@ -64,3 +65,49 @@ class TestCLIHeavyPaths:
         out = capsys.readouterr().out
         assert "prediction report" in out
         assert "top 10 predicted hotspot" in out
+
+    def test_suite_parallel_jobs_matches_serial_cache(self, tiny_cache, capsys):
+        assert main(["suite", "--scale", "0.3"]) == 0
+        serial_bytes = tiny_cache.read_bytes()
+        tiny_cache.unlink()
+        tiny_cache.with_suffix(".stats.json").unlink()
+        assert main(["suite", "--scale", "0.3", "-j", "2", "--no-resume"]) == 0
+        assert tiny_cache.read_bytes() == serial_bytes
+        assert "Total samples" in capsys.readouterr().out
+
+    def test_no_cache_resume_uses_checkpoints(self, tiny_cache, capsys):
+        # regression: the checkpoint dir used to derive from --cache, so
+        # --no-cache silently disabled --resume
+        assert main(["suite", "--scale", "0.3"]) == 0
+        capsys.readouterr()
+        tiny_cache.unlink()
+        tiny_cache.with_suffix(".stats.json").unlink()
+        assert main(["suite", "--scale", "0.3", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("resumed from checkpoint") == 14
+        assert "Total samples" in out
+
+    def test_explain_runs_under_resilience_layer(self, tiny_cache, capsys):
+        # regression: explain bypassed the runner, so an injected unit fault
+        # became an unhandled crash instead of a degraded exit
+        assert main(["suite", "--scale", "0.3"]) == 0
+        capsys.readouterr()
+        with inject_faults(FaultSpec(stage="explain/des_perf_1", times=1)):
+            code = main(["explain", "des_perf_1", "--scale", "0.3"])
+        assert code == EXIT_DEGRADED
+        assert "degraded run" in capsys.readouterr().err
+        # with a retry budget the same fault is absorbed
+        with inject_faults(FaultSpec(stage="explain/des_perf_1", times=1)):
+            code = main(
+                ["explain", "des_perf_1", "--scale", "0.3",
+                 "--num", "1", "--max-retries", "1", "--retry-backoff", "0"]
+            )
+        assert code == 0
+
+    def test_report_degrades_on_training_fault(self, tiny_cache, capsys):
+        assert main(["suite", "--scale", "0.3"]) == 0
+        capsys.readouterr()
+        with inject_faults(FaultSpec(stage="report/mult_b", times=1)):
+            code = main(["report", "mult_b", "--scale", "0.3"])
+        assert code == EXIT_DEGRADED
+        assert "degraded run" in capsys.readouterr().err

@@ -82,6 +82,52 @@ class TestAggregates:
         assert r.winning_designs("A") == (1, 1, 1)
         assert r.winning_designs("B") == (1, 1, 1)
 
+    def test_score_of_duplicate_keeps_first(self):
+        """The (design, model) index must keep linear-scan first-wins order."""
+        scores = [
+            DesignScore("d1", "A", _metrics(0.1, 0.1, 0.1)),
+            DesignScore("d1", "A", _metrics(0.9, 0.9, 0.9)),
+        ]
+        r = ExperimentResult(
+            scores=scores,
+            run_stats=[ModelRunStats("A")],
+            design_order=["d1"],
+            model_order=["A"],
+            target_fpr=0.005,
+        )
+        assert r.score_of("d1", "A").a_prc == pytest.approx(0.1)
+
+    def test_score_index_tracks_incremental_scores(self):
+        """Callers build results incrementally; the index must not go stale."""
+        r = ExperimentResult(
+            scores=[DesignScore("d1", "A", _metrics(0.1, 0.2, 0.3))],
+            run_stats=[ModelRunStats("A")],
+            design_order=["d1", "d2"],
+            model_order=["A"],
+            target_fpr=0.005,
+        )
+        assert r.score_of("d2", "A") is None
+        r.scores.append(DesignScore("d2", "A", _metrics(0.4, 0.5, 0.6)))
+        assert r.score_of("d2", "A").a_prc == pytest.approx(0.6)
+
+    def test_winning_designs_near_tie_within_tolerance(self):
+        """A 1e-12-close runner-up still counts as a win (tie tolerance)."""
+        scores = [
+            DesignScore("d1", "A", _metrics(0.5, 0.5, 0.5)),
+            DesignScore("d1", "B", _metrics(0.5 - 1e-13, 0.5, 0.5)),
+            DesignScore("d2", "A", _metrics(0.2, 0.2, 0.2)),
+            DesignScore("d2", "B", _metrics(0.8, 0.8, 0.8)),
+        ]
+        r = ExperimentResult(
+            scores=scores,
+            run_stats=[ModelRunStats("A"), ModelRunStats("B")],
+            design_order=["d1", "d2"],
+            model_order=["A", "B"],
+            target_fpr=0.005,
+        )
+        assert r.winning_designs("A") == (1, 1, 1)
+        assert r.winning_designs("B") == (2, 2, 2)
+
     def test_summarize_shape_gain(self, result):
         shape = summarize_shape(result)
         assert shape["rf_best_average_aprc"] is True

@@ -90,6 +90,46 @@ class TestTreeShapExactness:
         for i in range(3):
             assert np.allclose(batch[i], ex.shap_values_single(X[i]))
 
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_recurrences_match_reference(self, seed):
+        """The vectorised EXTEND/UNWIND agrees with the per-sample path."""
+        rf, X = _fit_small_forest(seed, depth=6, trees=5)
+        ex = TreeShapExplainer(rf.trees, X.shape[1])
+        rows = X[(seed % 7):(seed % 7) + 40]
+        batch = ex.shap_values(rows)
+        single = np.vstack([ex.shap_values_single(x) for x in rows])
+        assert np.allclose(batch, single, atol=1e-10)
+
+    def test_batch_chunking_is_seamless(self):
+        """Results must not depend on where the chunk boundaries fall."""
+        rf, X = _fit_small_forest(9, trees=3)
+        ex = TreeShapExplainer(rf.trees, X.shape[1])
+        whole = ex.shap_values(X[:30])
+        ex.chunk_size = 7  # 30 samples -> 5 uneven chunks
+        chunked = ex.shap_values(X[:30])
+        assert np.array_equal(whole, chunked)
+
+    def test_batch_local_accuracy(self):
+        rf, X = _fit_small_forest(10, depth=5, trees=6)
+        ex = TreeShapExplainer(rf.trees, X.shape[1])
+        phi = ex.shap_values(X[:25])
+        fx = rf.predict_proba(X[:25])[:, 1]
+        assert np.allclose(ex.expected_value + phi.sum(axis=1), fx, atol=1e-9)
+
+    def test_batch_wrong_feature_count_raises(self):
+        rf, X = _fit_small_forest(11)
+        ex = TreeShapExplainer(rf.trees, X.shape[1])
+        with pytest.raises(ValueError):
+            ex.shap_values(np.zeros((4, X.shape[1] + 1)))
+
+    def test_batch_single_row_input(self):
+        rf, X = _fit_small_forest(12)
+        ex = TreeShapExplainer(rf.trees, X.shape[1])
+        assert np.allclose(
+            ex.shap_values(X[0]), ex.shap_values_single(X[0])[None, :]
+        )
+
     def test_single_leaf_tree(self):
         X = np.zeros((10, 3))
         y = np.ones(10, dtype=int)
