@@ -1,0 +1,61 @@
+"""Cross-check ``run_manifest.json`` against ``BENCH_timing.json``.
+
+``benchmarks/smoke.py`` derives every BENCH timing from a telemetry span, so
+the manifest's per-stage timing table and the BENCH document must agree to
+rounding.  CI runs this after the bench step; a mismatch means the derived
+view drifted from the span tree (double-timed section, renamed span, ...)::
+
+    PYTHONPATH=src python benchmarks/diff_manifest.py run_manifest.json BENCH_timing.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from smoke import STAGE_MAP
+
+#: BENCH values are rounded to 3 decimals, stage walls to 6.
+TOLERANCE_S = 2e-3
+
+
+def diff(manifest_path: Path, bench_path: Path) -> list[str]:
+    manifest = json.loads(manifest_path.read_text())
+    bench = json.loads(bench_path.read_text())
+    stages = {row["path"]: row for row in manifest.get("stages", [])}
+    problems: list[str] = []
+    for (section, key), path in STAGE_MAP.items():
+        try:
+            bench_v = bench[section][key]
+        except KeyError:
+            problems.append(f"BENCH missing {section}.{key}")
+            continue
+        row = stages.get(path)
+        if row is None:
+            problems.append(f"manifest missing stage {path!r}")
+            continue
+        if abs(bench_v - row["wall_s"]) > TOLERANCE_S:
+            problems.append(
+                f"{section}.{key}={bench_v} but stage {path} wall_s={row['wall_s']}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("manifest", type=Path)
+    parser.add_argument("bench", type=Path)
+    args = parser.parse_args(argv)
+    problems = diff(args.manifest, args.bench)
+    for p in problems:
+        print(f"MISMATCH: {p}", file=sys.stderr)
+    if not problems:
+        print(f"ok: {len(STAGE_MAP)} stage timings agree "
+              f"(tolerance {TOLERANCE_S}s)")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,13 @@ can track the perf trajectory on every push::
 
     PYTHONPATH=src python benchmarks/smoke.py --scale 0.5 --jobs 4 --check
 
+The whole run executes under an active :class:`repro.runtime.Tracer`: every
+timed section is a span (``bench/suite_build/serial`` etc.), the numbers in
+``BENCH_timing.json`` are *derived* from span wall times, and the full
+telemetry — including the flow/router spans collected inside the suite
+builds — is aggregated into ``run_manifest.json`` next to the timing file.
+``benchmarks/diff_manifest.py`` cross-checks the two documents in CI.
+
 ``--check`` additionally asserts the acceptance floors: batched SHAP >= 5x
 the per-sample loop on a 1000-sample batch (always), and parallel >= 2x
 serial for suite+experiment (only on machines with >= 4 CPUs — a 1-core
@@ -23,7 +30,6 @@ import json
 import os
 import sys
 import tempfile
-import time
 from pathlib import Path
 
 import numpy as np
@@ -34,54 +40,65 @@ from repro.core.pipeline import build_suite_dataset
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.shap.tree_explainer import TreeShapExplainer
 from repro.runtime import FaultTolerantRunner, ParallelRunner
+from repro.runtime.telemetry import (
+    Tracer,
+    activate,
+    build_manifest,
+    get_tracer,
+    new_run_id,
+    write_manifest,
+    write_trace,
+)
 
 
 def _bench_suite(scale: float, jobs: int, tmp: Path) -> dict:
+    tracer = get_tracer()
     serial_npz = tmp / "serial.npz"
-    t0 = time.perf_counter()
-    suite, _ = build_suite_dataset(
-        scale, cache_path=serial_npz, runner=FaultTolerantRunner(fail_fast=True)
-    )
-    serial_s = time.perf_counter() - t0
-
     parallel_npz = tmp / "parallel.npz"
-    t0 = time.perf_counter()
-    build_suite_dataset(
-        scale, cache_path=parallel_npz, runner=ParallelRunner(jobs, fail_fast=True)
-    )
-    parallel_s = time.perf_counter() - t0
+    with tracer.span("suite_build"):
+        with tracer.span("serial") as serial_span:
+            suite, _ = build_suite_dataset(
+                scale, cache_path=serial_npz,
+                runner=FaultTolerantRunner(fail_fast=True),
+            )
+        with tracer.span("parallel", jobs=jobs) as parallel_span:
+            build_suite_dataset(
+                scale, cache_path=parallel_npz,
+                runner=ParallelRunner(jobs, fail_fast=True),
+            )
 
     identical = (
         hashlib.sha256(serial_npz.read_bytes()).hexdigest()
         == hashlib.sha256(parallel_npz.read_bytes()).hexdigest()
     )
     return {
-        "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 2),
+        "serial_s": round(serial_span.wall_s, 3),
+        "parallel_s": round(parallel_span.wall_s, 3),
+        "speedup": round(serial_span.wall_s / parallel_span.wall_s, 2),
         "cache_byte_identical": identical,
         "_suite": suite,
     }
 
 
 def _bench_experiment(suite, jobs: int) -> dict:
+    tracer = get_tracer()
     models = [m for m in model_zoo("fast") if m.name in ("RUSBoost", "NN-1", "RF")]
-    t0 = time.perf_counter()
-    run_experiment(suite, models, tune=False,
-                   runner=FaultTolerantRunner(fail_fast=True))
-    serial_s = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    run_experiment(suite, models, tune=False,
-                   runner=ParallelRunner(jobs, fail_fast=True))
-    parallel_s = time.perf_counter() - t0
+    with tracer.span("experiment"):
+        with tracer.span("serial") as serial_span:
+            run_experiment(suite, models, tune=False,
+                           runner=FaultTolerantRunner(fail_fast=True))
+        with tracer.span("parallel", jobs=jobs) as parallel_span:
+            run_experiment(suite, models, tune=False,
+                           runner=ParallelRunner(jobs, fail_fast=True))
     return {
-        "serial_s": round(serial_s, 3),
-        "parallel_s": round(parallel_s, 3),
-        "speedup": round(serial_s / parallel_s, 2),
+        "serial_s": round(serial_span.wall_s, 3),
+        "parallel_s": round(parallel_span.wall_s, 3),
+        "speedup": round(serial_span.wall_s / parallel_span.wall_s, 2),
     }
 
 
 def _bench_shap(batch_size: int = 1000, ref_samples: int = 200) -> dict:
+    tracer = get_tracer()
     rng = np.random.default_rng(0)
     X = rng.normal(size=(1500, 40))
     y = (X[:, 0] + X[:, 3] * X[:, 5] - X[:, 7] > 0).astype(np.int8)
@@ -90,14 +107,15 @@ def _bench_shap(batch_size: int = 1000, ref_samples: int = 200) -> dict:
     explainer = TreeShapExplainer(rf.trees, X.shape[1])
     batch = X[:batch_size]
 
-    t0 = time.perf_counter()
-    phi_batch = explainer.shap_values(batch)
-    batched_s = time.perf_counter() - t0
+    with tracer.span("tree_shap"):
+        with tracer.span("batched", batch_size=batch_size) as batched_span:
+            phi_batch = explainer.shap_values(batch)
+        ref = batch[:ref_samples]
+        with tracer.span("single_ref", samples=ref_samples) as single_span:
+            phi_ref = np.vstack([explainer.shap_values_single(x) for x in ref])
 
-    ref = batch[:ref_samples]
-    t0 = time.perf_counter()
-    phi_ref = np.vstack([explainer.shap_values_single(x) for x in ref])
-    ref_s = time.perf_counter() - t0
+    batched_s = batched_span.wall_s
+    ref_s = single_span.wall_s
     single_s_extrapolated = ref_s / ref_samples * batch_size
 
     return {
@@ -113,11 +131,26 @@ def _bench_shap(batch_size: int = 1000, ref_samples: int = 200) -> dict:
     }
 
 
+#: BENCH_timing.json keys and the manifest stage path each one is derived from.
+STAGE_MAP = {
+    ("suite_build", "serial_s"): "bench/suite_build/serial",
+    ("suite_build", "parallel_s"): "bench/suite_build/parallel",
+    ("experiment", "serial_s"): "bench/experiment/serial",
+    ("experiment", "parallel_s"): "bench/experiment/parallel",
+    ("tree_shap", "batched_s"): "bench/tree_shap/batched",
+    ("tree_shap", "single_ref_s"): "bench/tree_shap/single_ref",
+}
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("-j", "--jobs", type=int, default=4)
     parser.add_argument("--out", type=Path, default=Path("BENCH_timing.json"))
+    parser.add_argument("--manifest", type=Path, default=Path("run_manifest.json"),
+                        help="aggregated telemetry manifest destination")
+    parser.add_argument("--trace", type=Path, default=None,
+                        help="also write the full JSONL span trace here")
     parser.add_argument("--check", action="store_true",
                         help="assert the acceptance speedup floors")
     args = parser.parse_args(argv)
@@ -130,20 +163,32 @@ def main(argv: list[str] | None = None) -> int:
         "python": sys.version.split()[0],
     }
 
-    with tempfile.TemporaryDirectory() as td:
-        suite_res = _bench_suite(args.scale, args.jobs, Path(td))
-    suite = suite_res.pop("_suite")
-    doc["suite_build"] = suite_res
-    print(f"suite build   : {suite_res}", flush=True)
+    tracer = Tracer(enabled=True, run_id=new_run_id())
+    with activate(tracer), tracer.span("bench", scale=args.scale, jobs=args.jobs):
+        with tempfile.TemporaryDirectory() as td:
+            suite_res = _bench_suite(args.scale, args.jobs, Path(td))
+        suite = suite_res.pop("_suite")
+        doc["suite_build"] = suite_res
+        print(f"suite build   : {suite_res}", flush=True)
 
-    doc["experiment"] = _bench_experiment(suite, args.jobs)
-    print(f"experiment    : {doc['experiment']}", flush=True)
+        doc["experiment"] = _bench_experiment(suite, args.jobs)
+        print(f"experiment    : {doc['experiment']}", flush=True)
 
-    doc["tree_shap"] = _bench_shap()
-    print(f"tree shap     : {doc['tree_shap']}", flush=True)
+        doc["tree_shap"] = _bench_shap()
+        print(f"tree shap     : {doc['tree_shap']}", flush=True)
 
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    manifest = build_manifest(
+        tracer, command="bench-smoke", argv=list(argv or sys.argv[1:]),
+        config={"scale": args.scale, "jobs": args.jobs, "cpu_count": cpus},
+    )
+    write_manifest(manifest, args.manifest)
+    print(f"wrote {args.manifest}")
+    if args.trace is not None:
+        write_trace(tracer, args.trace, command="bench-smoke")
+        print(f"wrote {args.trace}")
 
     if args.check:
         assert doc["suite_build"]["cache_byte_identical"], "parallel cache differs"
@@ -156,6 +201,15 @@ def main(argv: list[str] | None = None) -> int:
                 assert speedup >= 2.0, f"{key} speedup {speedup} < 2x"
         else:
             print(f"note: {cpus} CPU(s) — parallel speedup floors not asserted")
+        # BENCH values are a derived view of the span tree: re-derive them
+        # from the manifest stage table and demand agreement.
+        stages = {row["path"]: row for row in manifest["stages"]}
+        for (section, key), path in STAGE_MAP.items():
+            bench_v = doc[section][key]
+            stage_v = stages[path]["wall_s"]
+            assert abs(bench_v - stage_v) <= 2e-3, (
+                f"{section}.{key}={bench_v} != stage {path} wall_s={stage_v}"
+            )
     return 0
 
 

@@ -12,6 +12,9 @@ Commands
 ``flow``       Run the flow on one ad-hoc design and print its statistics.
 ``features``   List the 387 canonical feature names.
 
+``trace``      Inspect a JSONL trace or ``run_manifest.json`` written by
+               ``--trace``: span tree, slowest spans, metric totals.
+
 All heavy commands accept ``--cache`` (default on) so the 14-design flow
 runs only once per scale, the resilience flags ``--resume/--no-resume``,
 ``--max-retries``, ``--retry-backoff``, ``--timeout`` and ``--fail-fast``
@@ -19,15 +22,25 @@ runs only once per scale, the resilience flags ``--resume/--no-resume``,
 (model, group) experiment units out across N worker processes (default 1 =
 serial; results are bit-identical either way).  Checkpoint directories are
 derived from the *default* cache location, not the ``--cache`` flag, so
-``--no-cache`` runs still resume from checkpoints.  Exit codes: 0 success,
-1 runtime error, 2 usage error, 3 completed but degraded (some units failed
-and were skipped; the failure log is printed to stderr).
+``--no-cache`` runs still resume from checkpoints.
+
+Every command also accepts the telemetry flags ``--trace PATH`` (write a
+JSONL span trace to PATH plus an aggregated manifest next to it) and
+``--no-telemetry`` (force telemetry off).  Without ``--trace``, telemetry
+stays disabled and no sink file is ever created.
+
+Exit codes: 0 success, 1 runtime error, 2 usage error, 3 completed but
+degraded (some units failed and were skipped; the failure log is printed
+to stderr).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
+from pathlib import Path
 
 from .bench.generator import DesignRecipe
 from .bench.suite import GROUPS, group_of
@@ -44,18 +57,72 @@ from .core.pipeline import (
 from .features.names import describe_feature, feature_names
 from .layout.design_stats import format_table1, group_statistics
 from .runtime import FaultTolerantRunner, ParallelRunner, ReproRuntimeError, RetryPolicy
+from .runtime.telemetry import (
+    Tracer,
+    activate,
+    build_manifest,
+    format_metrics,
+    format_span_tree,
+    format_top_spans,
+    load_trace,
+    manifest_path_for,
+    new_run_id,
+    write_manifest,
+    write_trace,
+)
 
 #: Exit code when a run finished but some units failed and were skipped.
 EXIT_DEGRADED = 3
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1 (worker counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonneg_int(text: str) -> int:
+    """argparse type: an integer >= 0 (retry budgets)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _trace_path(text: str) -> Path:
+    """argparse type: a trace destination whose parent dir exists and is writable."""
+    path = Path(text)
+    parent = path.parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(f"trace directory {parent} does not exist")
+    if not os.access(parent, os.W_OK):
+        raise argparse.ArgumentTypeError(f"trace directory {parent} is not writable")
+    return path
+
+
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", type=_trace_path, default=None, metavar="PATH",
+                   help="write a JSONL span trace to PATH and an aggregated "
+                        "run manifest next to it (.manifest.json)")
+    p.add_argument("--no-telemetry", dest="telemetry", action="store_false",
+                   help="force telemetry off even when --trace is given")
+
+
 def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
-    p.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+    p.add_argument("-j", "--jobs", type=_positive_int, default=1, metavar="N",
                    help="worker processes for design flows and experiment "
                         "units (default 1 = serial; same results either way)")
     p.add_argument("--no-resume", dest="resume", action="store_false",
                    help="ignore existing checkpoints; recompute every unit")
-    p.add_argument("--max-retries", type=int, default=0, metavar="N",
+    p.add_argument("--max-retries", type=_nonneg_int, default=0, metavar="N",
                    help="retry budget per unit (default 0)")
     p.add_argument("--retry-backoff", type=float, default=1.0, metavar="SEC",
                    help="base of the exponential retry backoff (default 1s)")
@@ -223,6 +290,89 @@ def _features(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_manifest(manifest: dict) -> str:
+    """Human view of a ``run_manifest.json`` document."""
+    lines = [
+        f"run      : {manifest.get('run_id', '?')}",
+        f"command  : {manifest.get('command', '?')}",
+        f"versions : " + " ".join(
+            f"{k}={v}" for k, v in (manifest.get("versions") or {}).items()
+        ),
+        "",
+        f"{'stage':<40s} {'count':>6s} {'wall_s':>9s} {'self_s':>9s} {'cpu_s':>9s}",
+    ]
+    for row in manifest.get("stages", []):
+        lines.append(
+            f"{row['path']:<40s} {row['count']:>6d} {row['wall_s']:>9.3f} "
+            f"{row['self_s']:>9.3f} {row['cpu_s']:>9.3f}"
+        )
+    lines.append("")
+    lines.append(format_metrics(manifest.get("counters", {}),
+                                manifest.get("gauges", {})))
+    failures = manifest.get("failures", [])
+    if failures:
+        lines.append("")
+        lines.append(f"failures : {len(failures)} "
+                     f"({', '.join(sorted({str(f.get('unit_id')) for f in failures}))})")
+    return "\n".join(lines)
+
+
+def _trace_cmd(args: argparse.Namespace) -> int:
+    """Inspect a trace file or manifest written by ``--trace``."""
+    path = Path(args.path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return 1
+    # A manifest is a single JSON object with a "stages" table; anything else
+    # is treated as a JSONL trace.
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = None
+    if isinstance(doc, dict) and "stages" in doc:
+        print(_render_manifest(doc))
+        return 0
+    try:
+        trace = load_trace(path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    meta = trace.meta
+    print(f"run      : {meta.get('run_id', '?')}")
+    print(f"command  : {meta.get('command', '?')}")
+    print()
+    print(format_span_tree(trace.roots))
+    print()
+    print(format_top_spans(trace.roots, args.top))
+    print()
+    print(format_metrics(trace.counters, trace.gauges))
+    if trace.failures:
+        print()
+        print(f"failures : {len(trace.failures)}")
+        for rec in trace.failures:
+            print(f"  {rec.get('kind', '?')}:{rec.get('unit_id', '?')} "
+                  f"{rec.get('error_type', '')}: {rec.get('message', '')}")
+    return 0
+
+
+def _write_telemetry(tracer: Tracer, args: argparse.Namespace,
+                     argv: list[str]) -> None:
+    """Persist the run's trace + manifest sinks next to ``--trace PATH``."""
+    trace_path = args.trace
+    config = {
+        k: (str(v) if isinstance(v, Path) else v)
+        for k, v in sorted(vars(args).items())
+        if k != "func"
+    }
+    write_trace(tracer, trace_path, args.command, argv)
+    manifest = build_manifest(tracer, args.command, argv, config)
+    manifest_path = write_manifest(manifest, manifest_path_for(trace_path))
+    print(f"telemetry: trace {trace_path}  manifest {manifest_path}",
+          file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="drcshap",
@@ -234,6 +384,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--no-cache", dest="cache", action="store_false")
     _add_resilience_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_suite)
 
     p = sub.add_parser("table2", help="model comparison (Table II)")
@@ -242,6 +393,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--models", help="comma-separated subset, e.g. RF,SVM-RBF")
     p.add_argument("--no-cache", dest="cache", action="store_false")
     _add_resilience_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_table2)
 
     p = sub.add_parser("explain", help="explain hotspots of one design")
@@ -251,6 +403,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--preset", choices=("fast", "full"), default="fast")
     p.add_argument("--no-cache", dest="cache", action="store_false")
     _add_resilience_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_explain)
 
     p = sub.add_parser("report", help="full prediction report for one design")
@@ -260,6 +413,7 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--preset", choices=("fast", "full"), default="fast")
     p.add_argument("--no-cache", dest="cache", action="store_false")
     _add_resilience_flags(p)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_report)
 
     p = sub.add_parser("flow", help="run the flow on one ad-hoc design")
@@ -268,18 +422,46 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--utilization", type=float, default=0.65)
     p.add_argument("--macros", type=int, default=0)
     p.add_argument("--seed", type=int, default=0)
+    _add_telemetry_flags(p)
     p.set_defaults(func=_flow)
 
     p = sub.add_parser("features", help="list the 387 feature names")
     p.add_argument("-v", "--verbose", action="store_true")
+    _add_telemetry_flags(p)
     p.set_defaults(func=_features)
 
+    p = sub.add_parser(
+        "trace", help="inspect a --trace JSONL file or run manifest"
+    )
+    p.add_argument("path", help="trace .jsonl or run manifest .json file")
+    p.add_argument("--top", type=_positive_int, default=5, metavar="N",
+                   help="how many slowest spans to list (default 5)")
+    p.set_defaults(func=_trace_cmd)
+
     args = parser.parse_args(argv)
+    trace_path = getattr(args, "trace", None)
+    telemetry_on = (trace_path is not None
+                    and getattr(args, "telemetry", True)
+                    and args.command != "trace")
+    if not telemetry_on:
+        try:
+            return args.func(args)
+        except ReproRuntimeError as exc:
+            print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
+            return 1
+
+    tracer = Tracer(enabled=True, run_id=new_run_id())
+    argv_list = list(argv) if argv is not None else sys.argv[1:]
     try:
-        return args.func(args)
+        with activate(tracer), tracer.span(args.command):
+            code = args.func(args)
     except ReproRuntimeError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 1
+        code = 1
+    # Sinks are written for success, degraded and error exits alike —
+    # a KeyboardInterrupt propagates before reaching here by design.
+    _write_telemetry(tracer, args, argv_list)
+    return code
 
 
 if __name__ == "__main__":

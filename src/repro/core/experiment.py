@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -47,6 +48,7 @@ from ..ml.scaling import StandardScaler
 from ..runtime.checkpoint import CheckpointStore
 from ..runtime.errors import CacheCorruptionError
 from ..runtime.runner import FaultTolerantRunner
+from ..runtime.telemetry import TelemetrySnapshot, Tracer, activate, get_tracer
 from ..runtime.validation import validate_features
 from .models import ModelSpec
 
@@ -131,7 +133,12 @@ class ExperimentResult:
 
 @dataclass
 class GroupUnitResult:
-    """Output of one (model, group) unit — everything the aggregation needs."""
+    """Output of one (model, group) unit — everything the aggregation needs.
+
+    ``telemetry`` carries the worker's span subtree/metrics back to the
+    parent; it is runtime-only and deliberately excluded from the JSON
+    checkpoint (a resumed unit has no fresh telemetry to replay).
+    """
 
     group: int
     params: dict[str, Any]
@@ -141,6 +148,7 @@ class GroupUnitResult:
     prediction_ops: float
     n_pred_designs: int
     scores: list[DesignScore]
+    telemetry: TelemetrySnapshot | None = None
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -236,6 +244,7 @@ def _fit_and_score_group(
     Returns ``None`` when the training stack holds no positives (the unit is
     skipped, not failed).
     """
+    tracer = get_tracer()
     adhoc = tuple({d.group for d in suite.designs if d.group < 0})
     X_train, y_train, train_groups = suite.stacked(exclude_groups=(g, *adhoc))
     test_designs = [d for d in suite.designs if d.group == g]
@@ -252,11 +261,13 @@ def _fit_and_score_group(
 
     params: dict[str, Any] = {}
     t0 = time.process_time()
-    if tune and spec.param_grid:
-        search = grid_search(spec.factory, spec.param_grid, X_fit, y_train, train_groups)
-        params = search.best_params
-    model = spec.factory(**params)
-    model.fit(X_fit, y_train)
+    with tracer.span("train"):
+        if tune and spec.param_grid:
+            search = grid_search(spec.factory, spec.param_grid, X_fit, y_train,
+                                 train_groups)
+            params = search.best_params
+        model = spec.factory(**params)
+        model.fit(X_fit, y_train)
     train_minutes = (time.process_time() - t0) / 60.0
 
     # complexity on this group's model (averaged at the end);
@@ -280,8 +291,10 @@ def _fit_and_score_group(
         validate_features(d.X, d.y, name=f"{spec.name}/test-{d.name}")
         X_test = scaler.transform(d.X) if scaler is not None else d.X
         t0 = time.process_time()
-        s = positive_scores(model, X_test)
+        with tracer.span("score", design=d.name):
+            s = positive_scores(model, X_test)
         predict_minutes += (time.process_time() - t0) / 60.0
+        tracer.counter("experiment.designs_scored")
         n_pred_designs += 1
         scores.append(
             DesignScore(
@@ -308,6 +321,37 @@ def _fit_and_score_group(
         n_pred_designs=n_pred_designs,
         scores=scores,
     )
+
+
+def _experiment_unit(
+    suite: SuiteDataset,
+    spec: ModelSpec,
+    g: int,
+    target_fpr: float,
+    tune: bool,
+    verbose: bool,
+    collect_telemetry: bool = False,
+) -> GroupUnitResult | None:
+    """One runnable (model, group) unit, with optional telemetry collection.
+
+    Mirrors the suite builder's ``_flow_unit_payload``: with telemetry on,
+    the unit body runs under a fresh local tracer — identically in a worker
+    process and in the serial runner — and its snapshot rides back inside
+    the :class:`GroupUnitResult` envelope for the parent to adopt in sorted
+    group order.
+    """
+    local = Tracer() if collect_telemetry else None
+    with activate(local) if local is not None else nullcontext():
+        span = (
+            local.span("experiment_unit", model=spec.name, group=g)
+            if local is not None
+            else nullcontext()
+        )
+        with span:
+            unit = _fit_and_score_group(suite, spec, g, target_fpr, tune, verbose)
+    if unit is not None and local is not None:
+        unit.telemetry = local.snapshot()
+    return unit
 
 
 def run_experiment(
@@ -342,6 +386,7 @@ def run_experiment(
     parallel runs.  Aggregation iterates groups in sorted order, so a
     parallel run's Table II is identical to a serial one.
     """
+    tracer = get_tracer()
     if runner is None:
         runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None
@@ -374,6 +419,7 @@ def run_experiment(
                             "different suite or protocol (stale fingerprint)"
                         )
                     unit_results[g] = GroupUnitResult.from_json(doc.get("unit", {}))
+                    tracer.counter("checkpoint.resume_skips")
                     continue
                 except CacheCorruptionError:
                     store.invalidate(key)
@@ -404,9 +450,9 @@ def run_experiment(
             [
                 (
                     f"{spec.name}__g{g}",
-                    _fit_and_score_group,
+                    _experiment_unit,
                     (suite, spec, g, target_fpr, tune, verbose),
-                    {},
+                    {"collect_telemetry": tracer.enabled},
                 )
                 for g in pending
             ],
@@ -417,6 +463,7 @@ def run_experiment(
             unit = unit_results.get(g)
             if unit is None:
                 continue
+            tracer.adopt(unit.telemetry)
             stats.train_minutes += unit.train_minutes
             stats.predict_minutes_per_design += unit.predict_minutes
             stats.best_params_per_group[g] = unit.params

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import json
 import os
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -62,6 +62,7 @@ from ..runtime.checkpoint import (
 )
 from ..runtime.errors import CacheCorruptionError, StageFailure, ValidationError
 from ..runtime.runner import FaultTolerantRunner
+from ..runtime.telemetry import TelemetrySnapshot, Tracer, activate, get_tracer
 from ..runtime.validation import validate_features
 
 #: Group index assigned to ad-hoc designs outside the named 14-design suite.
@@ -108,39 +109,50 @@ def _safe_group(name: str) -> int:
         return ADHOC_GROUP  # sentinel: never a leave-one-group-out test fold
 
 
+#: The flow's stage names, in execution order (also the span names).
+FLOW_STAGES = ("generate", "place", "global_route", "drc_sim", "features")
+
+
 def run_flow(
     recipe: DesignRecipe,
     placer_config: PlacerConfig | None = None,
     router_config: RouterConfig | None = None,
     drc_config: DRCSimConfig | None = None,
 ) -> FlowResult:
-    """Run the full Fig. 1 flow for one design recipe."""
-    times: dict[str, float] = {}
+    """Run the full Fig. 1 flow for one design recipe.
 
-    t0 = time.perf_counter()
-    design = generate_design(recipe)
-    times["generate"] = time.perf_counter() - t0
+    Every stage is a tracer span.  When the ambient tracer is enabled the
+    spans land in its tree (nested under whatever span is open); otherwise a
+    throwaway measuring tracer keeps the timings, so ``stage_seconds`` — a
+    thin derived view of the span durations — is populated either way.
+    """
+    tracer = get_tracer()
+    if not tracer.enabled:
+        tracer = Tracer()  # local measuring tracer; discarded after the flow
 
-    t0 = time.perf_counter()
-    place_design(design, placer_config)
-    times["place"] = time.perf_counter() - t0
+    with tracer.span("flow", design=recipe.name) as flow_span:
+        with tracer.span("generate"):
+            design = generate_design(recipe)
 
-    grid = GCellGrid.for_design_die(design.die, design.technology)
-    t0 = time.perf_counter()
-    routing = route_design(design, grid, router_config)
-    times["global_route"] = time.perf_counter() - t0
+        with tracer.span("place"):
+            place_design(design, placer_config)
 
-    t0 = time.perf_counter()
-    placemaps = PlacementMaps(design, grid)
-    report = simulate_drc(design, routing.rgrid, placemaps, drc_config)
-    times["drc_sim"] = time.perf_counter() - t0
+        grid = GCellGrid.for_design_die(design.die, design.technology)
+        with tracer.span("global_route"):
+            routing = route_design(design, grid, router_config)
 
-    t0 = time.perf_counter()
-    X = extract_features(grid, routing.rgrid, placemaps)
-    y = hotspot_labels(report, grid)
-    times["features"] = time.perf_counter() - t0
+        with tracer.span("drc_sim"):
+            placemaps = PlacementMaps(design, grid)
+            report = simulate_drc(design, routing.rgrid, placemaps, drc_config)
 
-    stats = design_statistics(design, grid, report.num_hotspots(grid))
+        with tracer.span("features"):
+            X = extract_features(grid, routing.rgrid, placemaps)
+            y = hotspot_labels(report, grid)
+
+        stats = design_statistics(design, grid, report.num_hotspots(grid))
+
+    # legacy view of the span durations, kept for existing callers/tests
+    times = {c.name: c.wall_s for c in flow_span.children if c.name in FLOW_STAGES}
     return FlowResult(
         design=design,
         grid=grid,
@@ -172,22 +184,36 @@ class FlowPayload:
     """The picklable slice of a :class:`FlowResult` the suite builder needs.
 
     Parallel workers return this instead of the full ``FlowResult`` so only
-    the dataset, the Table I row, and the stage timings cross the process
-    boundary — not the design netlist, routing grid, and placement maps.
+    the dataset, the Table I row, the stage timings, and the worker's
+    telemetry snapshot cross the process boundary — not the design netlist,
+    routing grid, and placement maps.
     """
 
     dataset: DesignDataset
     stats: DesignStats
     stage_seconds: dict[str, float]
+    telemetry: TelemetrySnapshot | None = None
 
 
-def _flow_unit_payload(recipe: DesignRecipe) -> FlowPayload:
-    """One suite-builder unit: full validated flow, reduced to its payload."""
-    result = _run_flow_validated(recipe)
+def _flow_unit_payload(
+    recipe: DesignRecipe, collect_telemetry: bool = False
+) -> FlowPayload:
+    """One suite-builder unit: full validated flow, reduced to its payload.
+
+    With ``collect_telemetry`` the flow runs under a fresh local tracer —
+    in a worker process *and* in the serial runner — and ships its span
+    subtree/metrics back in the payload.  Both execution modes therefore
+    produce the same envelope, which the parent adopts in recipe order, so
+    serial and parallel manifests are semantically identical.
+    """
+    local = Tracer() if collect_telemetry else None
+    with activate(local) if local is not None else nullcontext():
+        result = _run_flow_validated(recipe)
     return FlowPayload(
         dataset=result.dataset,
         stats=result.stats,
         stage_seconds=result.stage_seconds,
+        telemetry=local.snapshot() if local is not None else None,
     )
 
 
@@ -262,6 +288,7 @@ def _load_design_checkpoint(
 
 
 def _invalidate_cache_pair(cache_path: Path, sidecar: Path) -> None:
+    get_tracer().counter("cache.suite.invalidated")
     cache_path.unlink(missing_ok=True)
     sidecar.unlink(missing_ok=True)
 
@@ -360,13 +387,20 @@ def build_suite_dataset(
     succeeded.  Results are assembled in recipe order regardless of worker
     completion order, so serial and parallel builds are byte-identical.
     """
+    tracer = get_tracer()
+    # zero-register the builder's counters so every manifest reports them
+    for key in ("cache.suite.hits", "cache.suite.misses",
+                "cache.suite.invalidated", "checkpoint.resume_skips"):
+        tracer.counter(key, 0)
     sidecar: Path | None = None
     if cache_path is not None:
         cache_path = Path(cache_path)
         sidecar = cache_path.with_suffix(".stats.json")
         cached = _load_suite_cache(cache_path, sidecar)
         if cached is not None:
+            tracer.counter("cache.suite.hits")
             return cached
+        tracer.counter("cache.suite.misses")
 
     if runner is None:
         runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
@@ -376,12 +410,14 @@ def build_suite_dataset(
 
     recipes = suite_recipes(scale)
     done: dict[str, tuple[DesignDataset, DesignStats]] = {}
+    flow_telemetry: dict[str, TelemetrySnapshot] = {}
     pending: list[DesignRecipe] = []
     for recipe in recipes:
         key = f"{recipe.name}.npz"
         if store is not None and resume and store.has(key):
             try:
                 done[recipe.name] = _load_design_checkpoint(store, recipe.name)
+                tracer.counter("checkpoint.resume_skips")
                 if verbose:
                     print(f"  {recipe.name:<12s} resumed from checkpoint", flush=True)
                 continue
@@ -400,6 +436,8 @@ def build_suite_dataset(
             return  # recorded in runner.failures; degrade the suite
         payload: FlowPayload = outcome.value
         done[unit] = (payload.dataset, payload.stats)
+        if payload.telemetry is not None:
+            flow_telemetry[unit] = payload.telemetry
         if store is not None:
             _save_design_checkpoint(store, payload)
         if verbose:
@@ -412,11 +450,20 @@ def build_suite_dataset(
 
     runner.run_units(
         "flow",
-        [(r.name, _flow_unit_payload, (r,), {}) for r in pending],
+        [
+            (r.name, _flow_unit_payload, (r,),
+             {"collect_telemetry": tracer.enabled})
+            for r in pending
+        ],
         on_result=_flow_done,
     )
 
-    # re-assemble in recipe order so a parallel build is byte-identical
+    # re-assemble in recipe order so a parallel build is byte-identical —
+    # and adopt worker telemetry in the same order, so serial and parallel
+    # runs produce semantically identical span trees
+    for r in recipes:
+        if r.name in flow_telemetry:
+            tracer.adopt(flow_telemetry[r.name])
     datasets = [done[r.name][0] for r in recipes if r.name in done]
     stats = [done[r.name][1] for r in recipes if r.name in done]
 

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...runtime.telemetry import get_tracer
 from ..tree import LEAF, TreeArrays
 
 
@@ -259,6 +260,7 @@ class TreeShapExplainer:
         x = np.asarray(x, dtype=np.float64).ravel()
         if x.shape != (self.num_features,):
             raise ValueError(f"expected {self.num_features} features")
+        get_tracer().counter("shap.single_rows")
         phi = np.zeros(self.num_features)
         for groups in self._groups_per_tree:
             for group in groups:
@@ -273,11 +275,14 @@ class TreeShapExplainer:
                 f"expected (n, {self.num_features}) samples, got {X.shape}"
             )
         phi = np.zeros((X.shape[0], self.num_features))
+        tracer = get_tracer()
         for start in range(0, X.shape[0], self.chunk_size):
             chunk = X[start:start + self.chunk_size]
             out = phi[start:start + self.chunk_size]
             for groups in self._groups_per_tree:
                 for group in groups:
                     _group_phi_batch(group, chunk, out)
+            tracer.counter("shap.chunks")
+            tracer.counter("shap.rows", chunk.shape[0])
         phi /= len(self._groups_per_tree)
         return phi

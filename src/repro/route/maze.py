@@ -13,6 +13,8 @@ import heapq
 
 import numpy as np
 
+from ..runtime.telemetry import get_tracer
+
 
 def route_maze(
     a: tuple[int, int],
@@ -46,10 +48,12 @@ def route_maze(
         (min_edge * (abs(a[0] - b[0]) + abs(a[1] - b[1])), 0.0, a)
     ]
 
+    expansions = 0
     while heap:
         f, g, cell = heapq.heappop(heap)
         if g > g_cost[cell]:
             continue
+        expansions += 1
         if cell == b:
             break
         x, y = cell
@@ -63,6 +67,9 @@ def route_maze(
         if y - 1 >= 0:
             _relax(g_cost, parent, heap, b, cell, (x, y - 1), g + cost_v[x, y - 1], min_edge)
 
+    tracer = get_tracer()
+    tracer.counter("router.maze.routes")
+    tracer.counter("router.maze.expansions", expansions)
     if g_cost[b] == INF:
         raise RuntimeError(f"maze route failed {a} -> {b}")
     path = [b]

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 from ..layout.grid import GCellGrid
 from ..layout.netlist import Design, Net
+from ..runtime.telemetry import get_tracer
 from .graph import RoutingGrid
 from .maze import route_maze
 from .patterns import route_pattern
@@ -105,40 +106,52 @@ class GlobalRouter:
     # -- public API ----------------------------------------------------------------
 
     def run(self) -> RoutingResult:
+        tracer = get_tracer()
         start = time.perf_counter()
         segments = self._build_segments()
         overflow_history: list[float] = []
 
         # Initial pattern pass, shortest segments first so long nets see the
         # congestion that short, inflexible nets create.
-        segments.sort(key=lambda s: abs(s.a[0] - s.b[0]) + abs(s.a[1] - s.b[1]))
-        cost_h, cost_v = self.rgrid.edge_cost_arrays()
-        for i, seg in enumerate(segments):
-            seg.path, _ = route_pattern(seg.a, seg.b, cost_h, cost_v)
-            self.rgrid.add_path_load(seg.path, seg.demand)
-            if (i + 1) % 128 == 0:  # refresh congestion view periodically
-                cost_h, cost_v = self.rgrid.edge_cost_arrays()
-        overflow_history.append(self.rgrid.overflow2d())
+        with tracer.span("pattern_pass"):
+            segments.sort(key=lambda s: abs(s.a[0] - s.b[0]) + abs(s.a[1] - s.b[1]))
+            cost_h, cost_v = self.rgrid.edge_cost_arrays()
+            for i, seg in enumerate(segments):
+                seg.path, _ = route_pattern(seg.a, seg.b, cost_h, cost_v)
+                self.rgrid.add_path_load(seg.path, seg.demand)
+                if (i + 1) % 128 == 0:  # refresh congestion view periodically
+                    cost_h, cost_v = self.rgrid.edge_cost_arrays()
+            overflow_history.append(self.rgrid.overflow2d())
 
         # PathFinder negotiation.
-        for _ in range(self.config.negotiation_iterations):
-            before = overflow_history[-1]
-            if before == 0.0:
-                break
-            self.rgrid.bump_history(self.config.history_increment)
-            victims = [s for s in segments if s.crosses_overflow(self.rgrid)]
-            for seg in victims:
-                self.rgrid.remove_path_load(seg.path, seg.demand)
-                cost_h, cost_v = self.rgrid.edge_cost_arrays()
-                seg.path, _ = route_maze(seg.a, seg.b, cost_h, cost_v)
-                self.rgrid.add_path_load(seg.path, seg.demand)
-            after = self.rgrid.overflow2d()
-            overflow_history.append(after)
-            if before > 0 and (before - after) / before < self.config.min_improvement:
-                break
+        iterations = ripped_up = 0
+        with tracer.span("negotiation") as neg_span:
+            for _ in range(self.config.negotiation_iterations):
+                before = overflow_history[-1]
+                if before == 0.0:
+                    break
+                iterations += 1
+                self.rgrid.bump_history(self.config.history_increment)
+                victims = [s for s in segments if s.crosses_overflow(self.rgrid)]
+                ripped_up += len(victims)
+                for seg in victims:
+                    self.rgrid.remove_path_load(seg.path, seg.demand)
+                    cost_h, cost_v = self.rgrid.edge_cost_arrays()
+                    seg.path, _ = route_maze(seg.a, seg.b, cost_h, cost_v)
+                    self.rgrid.add_path_load(seg.path, seg.demand)
+                after = self.rgrid.overflow2d()
+                overflow_history.append(after)
+                if before > 0 and (before - after) / before < self.config.min_improvement:
+                    break
+            neg_span.set(iterations=iterations, ripped_up=ripped_up,
+                         overflow_final=overflow_history[-1])
 
-        self._assign_layers(segments)
-        self._account_pin_access_vias()
+        with tracer.span("layer_assignment"):
+            self._assign_layers(segments)
+            self._account_pin_access_vias()
+        tracer.counter("router.negotiation.iterations", iterations)
+        tracer.counter("router.ripup.segments", ripped_up)
+        tracer.gauge("router.overflow.final", overflow_history[-1])
         runtime = time.perf_counter() - start
         return RoutingResult(
             rgrid=self.rgrid,

@@ -16,7 +16,10 @@ long-running path resumable and failure-isolated:
   (:class:`CacheCorruptionError`, :class:`StageFailure`,
   :class:`ValidationError`);
 * :mod:`repro.runtime.faults` — a deterministic fault-injection hook so the
-  whole machinery is testable in CI.
+  whole machinery is testable in CI;
+* :mod:`repro.runtime.telemetry` — hierarchical span tracing, counters and
+  gauges, JSONL trace + ``run_manifest.json`` sinks, and picklable
+  snapshots so worker telemetry merges deterministically into the parent.
 """
 
 from .checkpoint import CHECKPOINT_FORMAT_VERSION, CheckpointStore, atomic_write_bytes, sha256_of
@@ -31,10 +34,26 @@ from .errors import (
 from .faults import FaultSpec, inject_faults
 from .parallel import ParallelRunner
 from .runner import FailureLog, FailureRecord, FaultTolerantRunner, RetryPolicy, UnitOutcome
+from .telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    SpanNode,
+    TelemetrySnapshot,
+    Tracer,
+    activate,
+    build_manifest,
+    get_tracer,
+    load_trace,
+    manifest_path_for,
+    new_run_id,
+    stable_view,
+    write_manifest,
+    write_trace,
+)
 from .validation import validate_features
 
 __all__ = [
     "CHECKPOINT_FORMAT_VERSION",
+    "TELEMETRY_SCHEMA_VERSION",
     "CacheCorruptionError",
     "CheckpointStore",
     "FailureLog",
@@ -45,12 +64,24 @@ __all__ = [
     "ParallelRunner",
     "ReproRuntimeError",
     "RetryPolicy",
+    "SpanNode",
     "StageFailure",
     "StageTimeout",
+    "TelemetrySnapshot",
+    "Tracer",
     "UnitOutcome",
     "ValidationError",
+    "activate",
     "atomic_write_bytes",
+    "build_manifest",
+    "get_tracer",
     "inject_faults",
+    "load_trace",
+    "manifest_path_for",
+    "new_run_id",
     "sha256_of",
+    "stable_view",
     "validate_features",
+    "write_manifest",
+    "write_trace",
 ]

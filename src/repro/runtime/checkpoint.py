@@ -32,6 +32,7 @@ import numpy as np
 
 from . import faults
 from .errors import CacheCorruptionError
+from .telemetry import get_tracer
 
 #: Bump when the on-disk layout of checkpoints changes; old stores are
 #: invalidated wholesale rather than migrated.
@@ -136,6 +137,7 @@ class CheckpointStore:
         path = self._path_of(key)
         checksum = sha256_bytes(data)
         atomic_write_bytes(path, data)
+        get_tracer().counter("checkpoint.writes")
         faults.corrupt_artifact(f"checkpoint/{key}", path)
         entries = self._read_manifest()
         entries[key] = {
@@ -163,6 +165,7 @@ class CheckpointStore:
             raise CacheCorruptionError(f"{path}: unreadable checkpoint") from exc
         if sha256_bytes(data) != entry.get("sha256"):
             raise CacheCorruptionError(f"{path}: checksum mismatch (corrupted checkpoint)")
+        get_tracer().counter("checkpoint.reads")
         return data
 
     # -- typed convenience layers -------------------------------------------------
@@ -211,6 +214,7 @@ class CheckpointStore:
         self._path_of(key).unlink(missing_ok=True)
         entries = self._read_manifest()
         if entries.pop(key, None) is not None:
+            get_tracer().counter("checkpoint.invalidated")
             self._write_manifest(entries)
 
     def clear(self) -> None:

@@ -49,6 +49,7 @@ from .runner import (
     UnitSpec,
     _describe,
 )
+from .telemetry import get_tracer
 
 #: How long the dispatch loop blocks waiting for worker completions before
 #: re-checking backoff expiries (seconds).
@@ -102,6 +103,7 @@ class _UnitState:
     kwargs: dict
     attempt: int = 0
     t_start: float | None = None
+    t_attempt: float = 0.0  # submit time of the latest attempt
     eligible_at: float = 0.0
     timed_out: bool = field(default=False, compare=False)
     last_exc: BaseException | None = None
@@ -133,6 +135,7 @@ class ParallelRunner(FaultTolerantRunner):
         if self.jobs == 1 or len(units) <= 1:
             return super().run_units(stage, units, on_result)
 
+        self._register_counters()
         outcomes: dict[int, UnitOutcome] = {}
         states = [
             _UnitState(index=i, unit=u, fn=fn, args=a, kwargs=k)
@@ -158,6 +161,7 @@ class ParallelRunner(FaultTolerantRunner):
                         if st.t_start is None:
                             st.t_start = now
                         st.attempt += 1
+                        st.t_attempt = now
                         try:
                             # the fault plan lives in the parent: fire here,
                             # not in the worker, so injection is deterministic
@@ -224,7 +228,11 @@ class ParallelRunner(FaultTolerantRunner):
         st.timed_out = timed_out
         st.last_exc = exc
         name = f"{stage}/{st.unit}"
+        tracer = get_tracer()
+        if timed_out:
+            tracer.counter("runner.timeouts")
         if st.attempt < self.policy.max_attempts:
+            tracer.counter("runner.retries")
             st.eligible_at = time.monotonic() + self.policy.backoff(st.attempt)
             if self.verbose:
                 print(
@@ -241,7 +249,11 @@ class ParallelRunner(FaultTolerantRunner):
             error_type="StageTimeout" if timed_out else type(exc).__name__,
             message=_describe(exc, timed_out, self.policy),
             elapsed_s=time.monotonic() - (st.t_start or time.monotonic()),
+            # submit-to-completion of the final attempt (queue wait included)
+            last_attempt_s=time.monotonic() - st.t_attempt if st.t_attempt else 0.0,
+            run_id=tracer.run_id,
         )
+        tracer.counter("runner.failed_units")
         self.failures.record(rec)
         if self.verbose:
             print(f"  FAILED {name}: {rec.message}", flush=True)

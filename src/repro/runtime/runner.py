@@ -31,6 +31,7 @@ from typing import Any, Callable
 from . import faults
 from .checkpoint import atomic_write_text
 from .errors import StageFailure, StageTimeout
+from .telemetry import get_tracer
 
 #: One schedulable unit of work: ``(unit_name, fn, args, kwargs)``.
 UnitSpec = tuple[str, Callable[..., Any], tuple, dict]
@@ -69,7 +70,13 @@ class RetryPolicy:
 
 @dataclass
 class FailureRecord:
-    """One permanently failed unit."""
+    """One permanently failed unit.
+
+    ``elapsed_s`` spans all attempts (backoff included); ``last_attempt_s``
+    is the wall clock of the final attempt alone.  ``run_id`` ties the
+    record to the telemetry run that produced it, so a failure log can be
+    joined against the run's trace/manifest.
+    """
 
     stage: str
     unit: str
@@ -77,6 +84,8 @@ class FailureRecord:
     error_type: str
     message: str
     elapsed_s: float
+    last_attempt_s: float = 0.0
+    run_id: str = ""
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -86,6 +95,8 @@ class FailureRecord:
             "error_type": self.error_type,
             "message": self.message,
             "elapsed_s": round(self.elapsed_s, 3),
+            "last_attempt_s": round(self.last_attempt_s, 3),
+            "run_id": self.run_id,
         }
 
 
@@ -102,7 +113,9 @@ class FailureLog:
         return bool(self.records)
 
     def record(self, rec: FailureRecord) -> None:
+        """Append a record and cross-reference it into the active trace."""
         self.records.append(rec)
+        get_tracer().note_failure(rec.to_dict())
 
     def units(self) -> list[str]:
         return [f"{r.stage}/{r.unit}" for r in self.records]
@@ -168,21 +181,26 @@ class FaultTolerantRunner:
         :class:`StageFailure` if ``fail_fast`` else returns a not-ok outcome.
         """
         name = f"{stage}/{unit}"
+        tracer = get_tracer()
         t_start = time.monotonic()
+        t_attempt = t_start
         last_exc: BaseException | None = None
         timed_out = False
         for attempt in range(1, self.policy.max_attempts + 1):
+            t_attempt = time.monotonic()
             try:
                 value = self._attempt(name, fn, args, kwargs)
                 return UnitOutcome(value=value)
             except _AttemptTimeout:
                 timed_out = True
                 last_exc = None
+                tracer.counter("runner.timeouts")
             except Exception as exc:
                 timed_out = False
                 last_exc = exc
             if attempt < self.policy.max_attempts:
                 pause = self.policy.backoff(attempt)
+                tracer.counter("runner.retries")
                 if self.verbose:
                     print(
                         f"  retrying {name} (attempt {attempt} failed: "
@@ -200,7 +218,10 @@ class FaultTolerantRunner:
             error_type="StageTimeout" if timed_out else type(last_exc).__name__,
             message=_describe(last_exc, timed_out, self.policy),
             elapsed_s=time.monotonic() - t_start,
+            last_attempt_s=time.monotonic() - t_attempt,
+            run_id=tracer.run_id,
         )
+        tracer.counter("runner.failed_units")
         self.failures.record(rec)
         if self.verbose:
             print(f"  FAILED {name}: {rec.message}", flush=True)
@@ -227,6 +248,7 @@ class FaultTolerantRunner:
         The serial implementation runs units in order; ``fail_fast`` raises
         out of the loop exactly like repeated :meth:`run_unit` calls would.
         """
+        self._register_counters()
         outcomes: list[UnitOutcome] = []
         for unit, fn, args, kwargs in units:
             outcome = self.run_unit(stage, unit, fn, *args, **kwargs)
@@ -234,6 +256,13 @@ class FaultTolerantRunner:
                 on_result(unit, outcome)
             outcomes.append(outcome)
         return outcomes
+
+    @staticmethod
+    def _register_counters() -> None:
+        """Zero-register the runner's metric keys so every run reports them."""
+        tracer = get_tracer()
+        for key in ("runner.retries", "runner.timeouts", "runner.failed_units"):
+            tracer.counter(key, 0)
 
     def _attempt(
         self, name: str, fn: Callable[..., Any], args: tuple, kwargs: dict

@@ -157,3 +157,16 @@ class TestFailureLog:
         doc = json.loads(path.read_text())
         assert doc[0]["unit"] == "u"
         assert doc[0]["attempts"] == 2
+        # telemetry cross-reference fields always serialize, defaults included
+        assert doc[0]["last_attempt_s"] == 0.0
+        assert doc[0]["run_id"] == ""
+
+    def test_to_dict_rounds_attempt_duration(self):
+        rec = FailureRecord(
+            stage="flow", unit="u", attempts=1, error_type="E", message="m",
+            elapsed_s=1.23456, last_attempt_s=0.98765, run_id="r-1",
+        )
+        doc = rec.to_dict()
+        assert doc["elapsed_s"] == 1.235
+        assert doc["last_attempt_s"] == 0.988
+        assert doc["run_id"] == "r-1"

@@ -1,0 +1,368 @@
+"""Telemetry layer: spans, metrics, sinks, CLI surfacing, determinism.
+
+Covers the tracer primitives (nesting, disabled no-ops, snapshot/adopt),
+the JSONL trace and manifest sinks (round-trip, schema validation,
+stable_view), the flow/runner instrumentation, the CLI flags and the
+``drcshap trace`` inspector — and the headline invariant: a serial and a
+``--jobs 2`` suite build produce semantically identical manifests.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.core.pipeline as pipeline
+from repro.cli import main
+from repro.runtime import FailureLog, FailureRecord, FaultTolerantRunner
+from repro.runtime.telemetry import (
+    TELEMETRY_SCHEMA_VERSION,
+    Tracer,
+    activate,
+    build_manifest,
+    get_tracer,
+    load_trace,
+    manifest_path_for,
+    new_run_id,
+    stable_view,
+    summarize_stages,
+    write_manifest,
+    write_trace,
+)
+
+
+class TestTracer:
+    def test_span_nesting_and_timing(self):
+        tracer = Tracer()
+        with tracer.span("outer", design="d") as outer:
+            with tracer.span("inner"):
+                pass
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert outer.attrs == {"design": "d"}
+        assert [c.name for c in outer.children] == ["inner"]
+        assert outer.wall_s >= outer.children[0].wall_s >= 0.0
+        assert outer.self_s <= outer.wall_s
+
+    def test_span_set_attaches_attrs(self):
+        tracer = Tracer()
+        with tracer.span("s") as node:
+            node.set(iterations=3)
+        assert tracer.roots[0].attrs["iterations"] == 3
+
+    def test_counters_and_gauges(self):
+        tracer = Tracer()
+        tracer.counter("c", 0)  # zero-registration
+        tracer.counter("c", 2)
+        tracer.counter("c")
+        tracer.gauge("g", 1.5)
+        tracer.gauge("g", 2.5)
+        assert tracer.counters == {"c": 3}
+        assert tracer.gauges == {"g": 2.5}
+
+    def test_disabled_tracer_is_noop(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("s") as node:
+            node.set(x=1)  # must not raise
+        tracer.counter("c")
+        tracer.gauge("g", 1.0)
+        tracer.note_failure({"unit": "u"})
+        assert tracer.roots == []
+        assert tracer.counters == {}
+        assert tracer.gauges == {}
+        assert tracer.failures == []
+
+    def test_ambient_default_is_disabled(self):
+        assert get_tracer().enabled is False
+
+    def test_activate_installs_and_restores(self):
+        tracer = Tracer()
+        with activate(tracer):
+            assert get_tracer() is tracer
+        assert get_tracer() is not tracer
+
+    def test_snapshot_adopt_merges_under_open_span(self):
+        worker = Tracer()
+        with worker.span("unit"):
+            worker.counter("n", 2)
+            worker.gauge("g", 7.0)
+        parent = Tracer()
+        parent.counter("n", 1)
+        with parent.span("suite"):
+            parent.adopt(worker.snapshot())
+        root = parent.roots[0]
+        assert [c.name for c in root.children] == ["unit"]
+        assert parent.counters == {"n": 3}
+        assert parent.gauges == {"g": 7.0}
+
+    def test_adopt_none_and_disabled(self):
+        tracer = Tracer()
+        tracer.adopt(None)  # no-op
+        disabled = Tracer(enabled=False)
+        disabled.adopt(Tracer().snapshot())
+        assert disabled.roots == []
+
+
+class TestSinks:
+    def _run(self) -> Tracer:
+        tracer = Tracer(run_id=new_run_id())
+        with tracer.span("suite"):
+            with tracer.span("flow", design="a"):
+                with tracer.span("place"):
+                    pass
+            with tracer.span("flow", design="b"):
+                with tracer.span("place"):
+                    pass
+        tracer.counter("cache.hits", 2)
+        tracer.gauge("overflow", 0.5)
+        tracer.note_failure({"stage": "flow", "unit": "c",
+                             "error_type": "RuntimeError",
+                             "elapsed_s": 1.0, "last_attempt_s": 0.5,
+                             "run_id": tracer.run_id})
+        return tracer
+
+    def test_trace_roundtrip(self, tmp_path):
+        tracer = self._run()
+        path = write_trace(tracer, tmp_path / "t.jsonl", "suite", ["--scale", "1"])
+        doc = load_trace(path)
+        assert doc.meta["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert doc.meta["run_id"] == tracer.run_id
+        assert doc.meta["command"] == "suite"
+        assert [r.name for r in doc.roots] == ["suite"]
+        flows = doc.roots[0].children
+        assert [f.attrs["design"] for f in flows] == ["a", "b"]
+        assert [c.name for c in flows[0].children] == ["place"]
+        assert doc.counters == {"cache.hits": 2}
+        assert doc.gauges == {"overflow": 0.5}
+        assert len(doc.failures) == 1 and doc.failures[0]["unit"] == "c"
+
+    def test_load_trace_rejects_malformed(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="not a trace event"):
+            load_trace(bad)
+
+    def test_load_trace_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "v99.jsonl"
+        bad.write_text(json.dumps({"ev": "meta", "schema_version": 99}) + "\n")
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            load_trace(bad)
+
+    def test_load_trace_requires_meta(self, tmp_path):
+        bad = tmp_path / "nometa.jsonl"
+        bad.write_text(json.dumps({"ev": "counter", "name": "c", "value": 1}) + "\n")
+        with pytest.raises(ValueError, match="missing meta"):
+            load_trace(bad)
+
+    def test_summarize_stages_collapses_same_name_paths(self):
+        tracer = self._run()
+        rows = {r["path"]: r for r in summarize_stages(tracer.roots)}
+        assert rows["suite"]["count"] == 1
+        assert rows["suite/flow"]["count"] == 2  # attrs excluded from the key
+        assert rows["suite/flow/place"]["count"] == 2
+        assert list(rows) == sorted(rows)
+
+    def test_manifest_and_stable_view(self, tmp_path):
+        tracer = self._run()
+        manifest = build_manifest(tracer, "suite", ["-j", "2"], {"jobs": 2})
+        path = write_manifest(manifest, manifest_path_for(tmp_path / "t.jsonl"))
+        assert path.name == "t.manifest.json"
+        loaded = json.loads(path.read_text())
+        assert loaded["schema_version"] == TELEMETRY_SCHEMA_VERSION
+        assert loaded["versions"]["python"]
+        view = stable_view(loaded)
+        # volatile fields stripped...
+        assert "run_id" not in view and "versions" not in view
+        assert all("wall_s" not in s for s in view["stages"])
+        assert all("last_attempt_s" not in f and "run_id" not in f
+                   for f in view["failures"])
+        # ...but semantic content kept
+        assert {"path": "suite/flow", "count": 2} in view["stages"]
+        assert view["counters"] == {"cache.hits": 2}
+        assert view["failures"][0]["unit"] == "c"
+
+
+class TestFlowInstrumentation:
+    def test_run_flow_spans_cover_all_stages(self):
+        tracer = Tracer()
+        with activate(tracer):
+            result = pipeline.run_flow(
+                pipeline.DesignRecipe(name="t", grid_nx=8, grid_ny=8,
+                                      utilization=0.55, seed=3)
+            )
+        flow = tracer.roots[0]
+        assert flow.name == "flow" and flow.attrs["design"] == "t"
+        stage_names = [c.name for c in flow.children]
+        assert stage_names == list(pipeline.FLOW_STAGES)
+        # stage_seconds is a derived view of the very same spans
+        assert result.stage_seconds == {
+            c.name: c.wall_s for c in flow.children
+        }
+        # router phase spans nest inside global_route
+        gr = flow.children[stage_names.index("global_route")]
+        assert {"pattern_pass", "negotiation", "layer_assignment"} <= {
+            c.name for c in gr.children
+        }
+
+    def test_run_flow_stage_seconds_without_tracer(self):
+        # ambient tracer disabled: timings still measured, nothing recorded
+        assert not get_tracer().enabled
+        result = pipeline.run_flow(
+            pipeline.DesignRecipe(name="t", grid_nx=8, grid_ny=8,
+                                  utilization=0.55, seed=3)
+        )
+        assert set(result.stage_seconds) == set(pipeline.FLOW_STAGES)
+        assert all(v >= 0 for v in result.stage_seconds.values())
+
+
+class TestFailureTelemetry:
+    def test_failure_record_carries_attempt_timing_and_run_id(self):
+        rec = FailureRecord(stage="flow", unit="u", attempts=2,
+                            error_type="RuntimeError", message="boom",
+                            elapsed_s=1.5, last_attempt_s=0.25, run_id="r1")
+        doc = rec.to_dict()
+        assert doc["last_attempt_s"] == 0.25
+        assert doc["run_id"] == "r1"
+
+    def test_failure_log_cross_references_active_tracer(self):
+        tracer = Tracer()
+        log = FailureLog()
+        with activate(tracer):
+            log.record(FailureRecord(stage="flow", unit="u", attempts=1,
+                                     error_type="E", message="m",
+                                     elapsed_s=0.1))
+        assert len(tracer.failures) == 1
+        assert tracer.failures[0]["unit"] == "u"
+
+    def test_runner_failure_stamps_run_id_and_counters(self):
+        tracer = Tracer(run_id="run-x")
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with activate(tracer):
+            runner = FaultTolerantRunner()
+            outcome = runner.run_unit("flow", "bad", boom)
+        assert not outcome.ok
+        assert outcome.failure.run_id == "run-x"
+        assert outcome.failure.last_attempt_s >= 0.0
+        assert tracer.counters["runner.failed_units"] == 1
+        assert tracer.failures[0]["unit"] == "bad"
+
+    def test_run_units_registers_runner_counters(self):
+        tracer = Tracer()
+        with activate(tracer):
+            FaultTolerantRunner().run_units("s", [("u", lambda: 1, (), {})])
+        assert tracer.counters["runner.retries"] == 0
+        assert tracer.counters["runner.timeouts"] == 0
+        assert tracer.counters["runner.failed_units"] == 0
+
+
+class TestCLIValidation:
+    def test_rejects_jobs_below_one(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["suite", "--jobs", "0"])
+        assert exc.value.code == 2
+
+    def test_rejects_negative_max_retries(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["suite", "--max-retries", "-1"])
+        assert exc.value.code == 2
+
+    def test_rejects_non_integer_jobs(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["suite", "--jobs", "two"])
+        assert exc.value.code == 2
+
+    def test_rejects_unwritable_trace_dir(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "t.jsonl"
+        with pytest.raises(SystemExit) as exc:
+            main(["suite", "--trace", str(missing)])
+        assert exc.value.code == 2
+
+
+class TestCLITelemetry:
+    def test_flow_trace_writes_sinks_and_inspector_reads_them(
+        self, tmp_path, capsys
+    ):
+        trace = tmp_path / "run.jsonl"
+        assert main(["flow", "--grid", "8", "--utilization", "0.55",
+                     "--seed", "3", "--trace", str(trace)]) == 0
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+        manifest = manifest_path_for(trace)
+        assert trace.exists() and manifest.exists()
+
+        assert main(["trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        for stage in pipeline.FLOW_STAGES:
+            assert stage in out
+        assert "top" in out and "counters:" in out
+
+        assert main(["trace", str(manifest)]) == 0
+        out = capsys.readouterr().out
+        assert "flow/flow/place" in out
+        assert "counters:" in out
+
+    def test_flow_without_trace_creates_no_sinks(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["flow", "--grid", "8", "--utilization", "0.55",
+                     "--seed", "3"]) == 0
+        assert list(tmp_path.iterdir()) == []
+
+    def test_no_telemetry_suppresses_sinks(self, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert main(["flow", "--grid", "8", "--utilization", "0.55",
+                     "--seed", "3", "--trace", str(trace),
+                     "--no-telemetry"]) == 0
+        assert not trace.exists()
+        assert not manifest_path_for(trace).exists()
+
+    def test_trace_inspector_rejects_malformed_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage\n")
+        assert main(["trace", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_inspector_missing_file(self, tmp_path, capsys):
+        assert main(["trace", str(tmp_path / "nope.jsonl")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+
+class TestDeterminism:
+    """Serial and parallel runs must be semantically indistinguishable."""
+
+    @pytest.fixture()
+    def two_design_suite(self, monkeypatch):
+        real = pipeline.suite_recipes
+        monkeypatch.setattr(
+            pipeline, "suite_recipes", lambda scale: real(scale)[:2]
+        )
+
+    def _run_suite(self, tmp_path, monkeypatch, tag: str, jobs: int) -> dict:
+        import repro.cli as cli
+
+        cache = tmp_path / tag / "suite.npz"
+        cache.parent.mkdir()
+        monkeypatch.setattr(cli, "default_cache_path",
+                            lambda scale=1.0: cache)
+        trace = tmp_path / tag / "run.jsonl"
+        argv = ["suite", "--scale", "0.3", "--no-cache", "--no-resume",
+                "--trace", str(trace)]
+        if jobs > 1:
+            argv += ["-j", str(jobs)]
+        assert main(argv) == 0
+        return json.loads(manifest_path_for(trace).read_text())
+
+    def test_serial_and_parallel_manifests_identical(
+        self, tmp_path, monkeypatch, two_design_suite, capsys
+    ):
+        serial = self._run_suite(tmp_path, monkeypatch, "serial", jobs=1)
+        par = self._run_suite(tmp_path, monkeypatch, "parallel", jobs=2)
+        assert stable_view(serial) == stable_view(par)
+        # sanity: the view actually covers the flow span structure
+        paths = {s["path"] for s in stable_view(serial)["stages"]}
+        assert "suite/flow/place" in paths
+        assert {s["path"]: s["count"] for s in stable_view(serial)["stages"]}[
+            "suite/flow"
+        ] == 2
