@@ -5,7 +5,8 @@ the manifest's per-stage timing table and the BENCH document must agree to
 rounding.  CI runs this after the bench step; a mismatch means the derived
 view drifted from the span tree (double-timed section, renamed span, ...)::
 
-    PYTHONPATH=src python benchmarks/diff_manifest.py run_manifest.json BENCH_timing.json
+    PYTHONPATH=src python benchmarks/diff_manifest.py run_manifest.json BENCH_timing.json \\
+        --train BENCH_train.json
 """
 
 from __future__ import annotations
@@ -15,18 +16,18 @@ import json
 import sys
 from pathlib import Path
 
-from smoke import STAGE_MAP
+from smoke import STAGE_MAP, TRAIN_STAGE_MAP
 
 #: BENCH values are rounded to 3 decimals, stage walls to 6.
 TOLERANCE_S = 2e-3
 
 
-def diff(manifest_path: Path, bench_path: Path) -> list[str]:
+def diff(manifest_path: Path, bench_path: Path, stage_map=STAGE_MAP) -> list[str]:
     manifest = json.loads(manifest_path.read_text())
     bench = json.loads(bench_path.read_text())
     stages = {row["path"]: row for row in manifest.get("stages", [])}
     problems: list[str] = []
-    for (section, key), path in STAGE_MAP.items():
+    for (section, key), path in stage_map.items():
         try:
             bench_v = bench[section][key]
         except KeyError:
@@ -47,12 +48,18 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("manifest", type=Path)
     parser.add_argument("bench", type=Path)
+    parser.add_argument("--train", type=Path, default=None,
+                        help="also cross-check a BENCH_train.json document")
     args = parser.parse_args(argv)
     problems = diff(args.manifest, args.bench)
+    n_checked = len(STAGE_MAP)
+    if args.train is not None:
+        problems += diff(args.manifest, args.train, stage_map=TRAIN_STAGE_MAP)
+        n_checked += len(TRAIN_STAGE_MAP)
     for p in problems:
         print(f"MISMATCH: {p}", file=sys.stderr)
     if not problems:
-        print(f"ok: {len(STAGE_MAP)} stage timings agree "
+        print(f"ok: {n_checked} stage timings agree "
               f"(tolerance {TOLERANCE_S}s)")
     return 1 if problems else 0
 

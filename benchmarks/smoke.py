@@ -7,6 +7,15 @@ can track the perf trajectory on every push::
 
     PYTHONPATH=src python benchmarks/smoke.py --scale 0.5 --jobs 4 --check
 
+A second document, ``BENCH_train.json``, micro-benchmarks the histogram
+training engine itself: the same forest is grown twice from one shared
+:class:`~repro.ml.binning.BinnedDataset` — sibling histogram subtraction
+off, then on — and prediction compares the stacked
+:class:`~repro.ml.forest.ForestArrays` kernel against the per-tree
+traversal loop it replaced.  The histogram build/subtraction counts in that
+document are read from the ``ml.hist.*`` telemetry counters, i.e. the same
+numbers the run manifest aggregates.
+
 The whole run executes under an active :class:`repro.runtime.Tracer`: every
 timed section is a span (``bench/suite_build/serial`` etc.), the numbers in
 ``BENCH_timing.json`` are *derived* from span wall times, and the full
@@ -37,8 +46,10 @@ import numpy as np
 from repro.core.experiment import run_experiment
 from repro.core.models import model_zoo
 from repro.core.pipeline import build_suite_dataset
-from repro.ml.forest import RandomForestClassifier
+from repro.ml.binning import BinnedDataset
+from repro.ml.forest import ForestArrays, RandomForestClassifier
 from repro.ml.shap.tree_explainer import TreeShapExplainer
+from repro.ml.tree import DecisionTreeClassifier
 from repro.runtime import FaultTolerantRunner, ParallelRunner
 from repro.runtime.telemetry import (
     Tracer,
@@ -131,6 +142,92 @@ def _bench_shap(batch_size: int = 1000, ref_samples: int = 200) -> dict:
     }
 
 
+_HIST_COUNTERS = ("ml.hist.builds", "ml.hist.subtractions", "ml.tree.nodes")
+
+
+def _bench_train(
+    n_rows: int = 4000,
+    n_features: int = 40,
+    n_trees: int = 30,
+    n_predict: int = 1000,
+) -> dict:
+    """Histogram engine micro-benchmark: the BENCH_train.json payload.
+
+    Both fits grow *bit-identical* trees (same pre-spawned per-tree
+    generators over the same shared BinnedDataset), so the wall-time gap is
+    purely the engine's histogram work; the build/subtraction counts that
+    prove it are deltas of the ``ml.hist.*`` tracer counters.
+    """
+    tracer = get_tracer()
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(n_rows, n_features))
+    y = (X[:, 0] + X[:, 3] * X[:, 5] - X[:, 7] > 0).astype(np.int8)
+    Xte = rng.normal(size=(n_predict, n_features))
+
+    def fit_forest(hist_subtraction: bool) -> list[DecisionTreeClassifier]:
+        dataset = BinnedDataset.from_matrix(X)
+        trees = []
+        for r in np.random.default_rng(0).spawn(n_trees):
+            tree = DecisionTreeClassifier(
+                random_state=r, hist_subtraction=hist_subtraction
+            )
+            tree.fit(None, y, binned=dataset)
+            trees.append(tree)
+        return trees
+
+    def counters() -> dict[str, float]:
+        return {k: tracer.counters.get(k, 0) for k in _HIST_COUNTERS}
+
+    with tracer.span("train_predict"):
+        c0 = counters()
+        with tracer.span("fit_direct", n_trees=n_trees) as direct_span:
+            direct = fit_forest(hist_subtraction=False)
+        c1 = counters()
+        with tracer.span("fit_subtraction", n_trees=n_trees) as sub_span:
+            fast = fit_forest(hist_subtraction=True)
+        c2 = counters()
+
+        identical = all(
+            np.array_equal(a.tree_.children_left, b.tree_.children_left)
+            and np.array_equal(a.tree_.feature, b.tree_.feature)
+            and np.array_equal(a.tree_.threshold, b.tree_.threshold, equal_nan=True)
+            and np.array_equal(a.tree_.value, b.tree_.value)
+            for a, b in zip(direct, fast)
+        )
+
+        stacked = ForestArrays.from_trees([t.tree_ for t in fast])
+        with tracer.span("predict_stacked", rows=n_predict) as stacked_span:
+            p_stacked = stacked.predict_proba_positive(Xte)
+        with tracer.span("predict_loop", rows=n_predict) as loop_span:
+            p_loop = np.mean(
+                [t.tree_.predict_proba_positive(Xte) for t in fast], axis=0
+            )
+
+    builds_direct = c1["ml.hist.builds"] - c0["ml.hist.builds"]
+    builds_sub = c2["ml.hist.builds"] - c1["ml.hist.builds"]
+    return {
+        "n_rows": n_rows,
+        "n_features": n_features,
+        "n_trees": n_trees,
+        "fit_direct_s": round(direct_span.wall_s, 3),
+        "fit_subtraction_s": round(sub_span.wall_s, 3),
+        "fit_speedup": round(direct_span.wall_s / sub_span.wall_s, 2),
+        "hist_builds_direct": int(builds_direct),
+        "hist_builds_subtraction": int(builds_sub),
+        "hist_subtractions": int(
+            c2["ml.hist.subtractions"] - c1["ml.hist.subtractions"]
+        ),
+        "builds_saved_pct": round(100.0 * (1.0 - builds_sub / builds_direct), 1),
+        "tree_nodes": int(c2["ml.tree.nodes"] - c1["ml.tree.nodes"]),
+        "trees_bit_identical": identical,
+        "predict_rows": n_predict,
+        "predict_stacked_s": round(stacked_span.wall_s, 3),
+        "predict_loop_s": round(loop_span.wall_s, 3),
+        "predict_speedup": round(loop_span.wall_s / stacked_span.wall_s, 2),
+        "predict_max_abs_diff": float(np.abs(p_stacked - p_loop).max()),
+    }
+
+
 #: BENCH_timing.json keys and the manifest stage path each one is derived from.
 STAGE_MAP = {
     ("suite_build", "serial_s"): "bench/suite_build/serial",
@@ -141,12 +238,22 @@ STAGE_MAP = {
     ("tree_shap", "single_ref_s"): "bench/tree_shap/single_ref",
 }
 
+#: BENCH_train.json keys and the manifest stage path each one is derived from.
+TRAIN_STAGE_MAP = {
+    ("train", "fit_direct_s"): "bench/train_predict/fit_direct",
+    ("train", "fit_subtraction_s"): "bench/train_predict/fit_subtraction",
+    ("train", "predict_stacked_s"): "bench/train_predict/predict_stacked",
+    ("train", "predict_loop_s"): "bench/train_predict/predict_loop",
+}
+
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--scale", type=float, default=0.5)
     parser.add_argument("-j", "--jobs", type=int, default=4)
     parser.add_argument("--out", type=Path, default=Path("BENCH_timing.json"))
+    parser.add_argument("--train-out", type=Path, default=Path("BENCH_train.json"),
+                        help="training-engine micro-benchmark destination")
     parser.add_argument("--manifest", type=Path, default=Path("run_manifest.json"),
                         help="aggregated telemetry manifest destination")
     parser.add_argument("--trace", type=Path, default=None,
@@ -177,8 +284,13 @@ def main(argv: list[str] | None = None) -> int:
         doc["tree_shap"] = _bench_shap()
         print(f"tree shap     : {doc['tree_shap']}", flush=True)
 
+        train_doc = {"train": _bench_train()}
+        print(f"train engine  : {train_doc['train']}", flush=True)
+
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     print(f"wrote {args.out}")
+    args.train_out.write_text(json.dumps(train_doc, indent=2) + "\n")
+    print(f"wrote {args.train_out}")
 
     manifest = build_manifest(
         tracer, command="bench-smoke", argv=list(argv or sys.argv[1:]),
@@ -201,15 +313,30 @@ def main(argv: list[str] | None = None) -> int:
                 assert speedup >= 2.0, f"{key} speedup {speedup} < 2x"
         else:
             print(f"note: {cpus} CPU(s) — parallel speedup floors not asserted")
+        train = train_doc["train"]
+        assert train["trees_bit_identical"], "subtraction changed the trees"
+        assert train["hist_subtractions"] > 0, "subtraction path never taken"
+        assert train["hist_builds_subtraction"] < train["hist_builds_direct"], (
+            "subtraction did not reduce histogram builds"
+        )
+        assert train["predict_max_abs_diff"] <= 1e-12, "stacked predict drifted"
         # BENCH values are a derived view of the span tree: re-derive them
         # from the manifest stage table and demand agreement.
         stages = {row["path"]: row for row in manifest["stages"]}
-        for (section, key), path in STAGE_MAP.items():
-            bench_v = doc[section][key]
-            stage_v = stages[path]["wall_s"]
-            assert abs(bench_v - stage_v) <= 2e-3, (
-                f"{section}.{key}={bench_v} != stage {path} wall_s={stage_v}"
-            )
+        for doc_view, stage_map in ((doc, STAGE_MAP), (train_doc, TRAIN_STAGE_MAP)):
+            for (section, key), path in stage_map.items():
+                bench_v = doc_view[section][key]
+                stage_v = stages[path]["wall_s"]
+                assert abs(bench_v - stage_v) <= 2e-3, (
+                    f"{section}.{key}={bench_v} != stage {path} wall_s={stage_v}"
+                )
+        # the manifest's global counters cover at least the bench's own fits
+        for name in ("ml.hist.builds", "ml.hist.subtractions"):
+            total = manifest["counters"].get(name, 0)
+            local = train["hist_builds_direct"] + train["hist_builds_subtraction"]
+            if name == "ml.hist.subtractions":
+                local = train["hist_subtractions"]
+            assert total >= local, f"manifest counter {name} lost bench fits"
     return 0
 
 

@@ -189,7 +189,10 @@ def _table2(args: argparse.Namespace) -> int:
         args.scale, cache_path=cache, runner=runner, resume=args.resume,
         checkpoint_dir=_suite_checkpoint_dir(args.scale),
     )
-    models = model_zoo(args.preset)
+    # --jobs feeds both layers: >1 parallelises (model, group) units via the
+    # runner, and the RF grows trees in parallel whenever it is *not* already
+    # inside a unit worker (the forest detects nesting and stays serial)
+    models = model_zoo(args.preset, n_jobs=args.jobs)
     if args.models:
         wanted = set(args.models.split(","))
         models = [m for m in models if m.name in wanted]
@@ -227,7 +230,8 @@ def _explain(args: argparse.Namespace) -> int:
     if not outcome.ok:
         return _report_failures(runner) or 1
     reports = explain_hotspots(
-        suite, outcome.value, num_hotspots=args.num, preset=args.preset
+        suite, outcome.value, num_hotspots=args.num, preset=args.preset,
+        n_jobs=args.jobs,
     )
     for report in reports:
         print(report.render())
@@ -248,7 +252,7 @@ def _report(args: argparse.Namespace) -> int:
     dataset = suite.by_name(args.design)
     outcome = runner.run_unit(
         "report", args.design, train_explanation_forest,
-        suite, args.design, preset=args.preset,
+        suite, args.design, preset=args.preset, n_jobs=args.jobs,
     )
     if not outcome.ok:
         return _report_failures(runner) or 1

@@ -41,6 +41,7 @@ from typing import Any
 import numpy as np
 
 from ..features.dataset import SuiteDataset
+from ..ml.binning import BinnedDataset
 from ..ml.complexity import complexity_of
 from ..ml.metrics import EvaluationResult, evaluate_scores
 from ..ml.model_selection import grid_search, positive_scores
@@ -262,12 +263,19 @@ def _fit_and_score_group(
     params: dict[str, Any] = {}
     t0 = time.process_time()
     with tracer.span("train"):
+        # one quantisation pass per experiment split: every grid-search
+        # fold row-slices this dataset and the final refit reuses it, so
+        # ml.binning.fits stays at one per (binned model, group)
+        binned = BinnedDataset.from_matrix(X_fit) if spec.supports_binned else None
         if tune and spec.param_grid:
             search = grid_search(spec.factory, spec.param_grid, X_fit, y_train,
-                                 train_groups)
+                                 train_groups, binned=binned)
             params = search.best_params
         model = spec.factory(**params)
-        model.fit(X_fit, y_train)
+        if binned is not None:
+            model.fit(X_fit, y_train, binned=binned)
+        else:
+            model.fit(X_fit, y_train)
     train_minutes = (time.process_time() - t0) / 60.0
 
     # complexity on this group's model (averaged at the end);

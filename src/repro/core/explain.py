@@ -66,11 +66,12 @@ def train_explanation_forest(
     design_name: str,
     preset: str = "fast",
     random_state: int = 0,
+    n_jobs: int = 1,
 ) -> RandomForestClassifier:
     """Fit the RF on everything outside the design's group (paper protocol)."""
     target = suite.by_name(design_name)
     X_train, y_train, _ = suite.stacked(exclude_groups=(target.group,))
-    spec = rf_spec(preset, random_state)
+    spec = rf_spec(preset, random_state, n_jobs)
     model = spec.factory()
     model.fit(X_train, y_train)
     return model
@@ -83,6 +84,7 @@ def explain_hotspots(
     num_hotspots: int = 3,
     layers: tuple[int, ...] = (3, 4, 5),
     preset: str = "fast",
+    n_jobs: int = 1,
 ) -> list[HotspotExplanationReport]:
     """Explain the top predicted hotspots of a design.
 
@@ -91,7 +93,8 @@ def explain_hotspots(
     """
     design_name = flow.design.name
     if model is None:
-        model = train_explanation_forest(suite, design_name, preset)
+        model = train_explanation_forest(suite, design_name, preset,
+                                         n_jobs=n_jobs)
     dataset = suite.by_name(design_name)
 
     probs = model.predict_proba(dataset.X)[:, 1]

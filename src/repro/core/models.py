@@ -43,6 +43,10 @@ class ModelSpec:
     param_grid: dict[str, list[Any]] = field(default_factory=dict)
     #: whether inputs must be standardised (SVM, NNs)
     needs_scaling: bool = False
+    #: whether the estimator accepts a shared BinnedDataset via
+    #: ``fit(..., binned=...)`` — lets the experiment driver quantise each
+    #: training split exactly once for grid search + final refit
+    supports_binned: bool = False
 
 
 # Module-level builders bound with functools.partial rather than closures:
@@ -83,19 +87,28 @@ def _make_nn(learning_rate: float = 1e-3, *, hidden_layers: tuple[int, ...],
 
 
 def _make_rf(min_samples_leaf: int = 1, *, rf_trees: int, full: bool,
-             random_state: int, **kw) -> RandomForestClassifier:
+             random_state: int, n_jobs: int = 1, **kw) -> RandomForestClassifier:
     return RandomForestClassifier(
         n_estimators=rf_trees,
         min_samples_leaf=min_samples_leaf,
         max_features="sqrt",
         max_samples=None if full else 0.7,
         random_state=random_state,
+        n_jobs=n_jobs,
         **kw,
     )
 
 
-def model_zoo(preset: str = "fast", random_state: int = 0) -> list[ModelSpec]:
-    """The five Table II models under the given cost preset."""
+def model_zoo(
+    preset: str = "fast", random_state: int = 0, n_jobs: int = 1
+) -> list[ModelSpec]:
+    """The five Table II models under the given cost preset.
+
+    ``n_jobs`` is forwarded to the Random Forest's parallel tree growth; it
+    changes wall-clock only, never results (per-tree generators are
+    pre-spawned from the seed).  Under a ``--jobs`` flow pool the forest
+    detects it is already inside a worker and grows serially.
+    """
     if preset not in ("fast", "full"):
         raise ValueError(f"unknown preset {preset!r}")
     full = preset == "full"
@@ -118,6 +131,7 @@ def model_zoo(preset: str = "fast", random_state: int = 0) -> list[ModelSpec]:
             "RUSBoost",
             partial(_make_rus, rus_rounds=rus_rounds, random_state=random_state),
             param_grid={"max_depth": [6, 10]} if full else {},
+            supports_binned=True,
         ),
         ModelSpec(
             "NN-1",
@@ -134,12 +148,17 @@ def model_zoo(preset: str = "fast", random_state: int = 0) -> list[ModelSpec]:
         ModelSpec(
             "RF",
             partial(_make_rf, rf_trees=rf_trees, full=full,
-                    random_state=random_state),
+                    random_state=random_state, n_jobs=n_jobs),
             param_grid={"min_samples_leaf": [1, 4]} if full else {},
+            supports_binned=True,
         ),
     ]
 
 
-def rf_spec(preset: str = "fast", random_state: int = 0) -> ModelSpec:
+def rf_spec(
+    preset: str = "fast", random_state: int = 0, n_jobs: int = 1
+) -> ModelSpec:
     """Just the RF column (used by the explanation workflow)."""
-    return next(m for m in model_zoo(preset, random_state) if m.name == "RF")
+    return next(
+        m for m in model_zoo(preset, random_state, n_jobs) if m.name == "RF"
+    )

@@ -1,6 +1,6 @@
 """From-scratch ML substrate: estimators, metrics, selection, SHAP."""
 
-from .binning import BinMapper
+from .binning import BinMapper, BinnedDataset, as_binned_dataset
 from .boosting import RUSBoostClassifier
 from .complexity import (
     ComplexityReport,
@@ -10,7 +10,7 @@ from .complexity import (
     rusboost_complexity,
     svm_complexity,
 )
-from .forest import RandomForestClassifier
+from .forest import ForestArrays, RandomForestClassifier
 from .metrics import (
     EvaluationResult,
     OperatingPoint,
@@ -47,6 +47,8 @@ from .tree import DecisionTreeClassifier, TreeArrays
 
 __all__ = [
     "BinMapper",
+    "BinnedDataset",
+    "as_binned_dataset",
     "RUSBoostClassifier",
     "ComplexityReport",
     "complexity_of",
@@ -54,6 +56,7 @@ __all__ = [
     "mlp_complexity",
     "rusboost_complexity",
     "svm_complexity",
+    "ForestArrays",
     "RandomForestClassifier",
     "EvaluationResult",
     "OperatingPoint",

@@ -15,12 +15,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from .binning import BinMapper
+from .binning import BinMapper, BinnedDataset, as_binned_dataset
+from .forest import ForestArrays
 from .tree import DecisionTreeClassifier, TreeArrays
 
 
 class RUSBoostClassifier:
     """Boosted shallow trees over balanced undersamples."""
+
+    #: grid search / experiment drivers may pass a shared BinnedDataset
+    accepts_binned = True
 
     def __init__(
         self,
@@ -44,8 +48,14 @@ class RUSBoostClassifier:
         self.random_state = random_state
         self.estimators_: list[DecisionTreeClassifier] = []
         self.alphas_: list[float] = []
+        self._stacked: ForestArrays | None = None
 
-    def fit(self, X: np.ndarray, y: np.ndarray) -> "RUSBoostClassifier":
+    def fit(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        binned: BinnedDataset | tuple[BinMapper, np.ndarray] | None = None,
+    ) -> "RUSBoostClassifier":
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y).astype(np.int8).ravel()
         n = len(X)
@@ -54,8 +64,10 @@ class RUSBoostClassifier:
         if len(pos_idx) == 0 or len(neg_idx) == 0:
             raise ValueError("RUSBoost needs both classes")
         rng = np.random.default_rng(self.random_state)
-        mapper = BinMapper(self.max_bins)
-        codes = mapper.fit_transform(X)
+        dataset = as_binned_dataset(binned, X, self.max_bins)
+        if dataset.n_samples != n:
+            raise ValueError("binned codes / y length mismatch")
+        self._stacked = None
 
         D = np.full(n, 1.0 / n)  # boosting distribution over the full set
         self.estimators_ = []
@@ -81,7 +93,7 @@ class RUSBoostClassifier:
                 max_bins=self.max_bins,
                 random_state=rng,
             )
-            tree.fit(X, y, sample_weight=sample_w, binned=(mapper, codes))
+            tree.fit(X, y, sample_weight=sample_w, binned=dataset)
 
             # --- AdaBoost update on the FULL set ------------------------------
             pred = tree.predict(X)
@@ -114,7 +126,7 @@ class RUSBoostClassifier:
             w = np.zeros(n)
             w[pos_idx] = 0.5 / len(pos_idx)
             w[neg_idx] = 0.5 / len(neg_idx)
-            tree.fit(X, y, sample_weight=w, binned=(mapper, codes))
+            tree.fit(X, y, sample_weight=w, binned=dataset)
             self.estimators_.append(tree)
             self.alphas_.append(1.0)
         return self
@@ -131,12 +143,11 @@ class RUSBoostClassifier:
         if not self.estimators_:
             raise RuntimeError("model not fitted")
         X = np.asarray(X, dtype=np.float64)
-        total = np.zeros(len(X))
-        for tree, alpha in zip(self.estimators_, self.alphas_):
-            assert tree.tree_ is not None
-            p = tree.tree_.predict_proba_positive(X)
-            total += alpha * (2.0 * p - 1.0)
-        return total / sum(self.alphas_)
+        if self._stacked is None:
+            self._stacked = ForestArrays.from_trees(self.trees)
+        leaf_p = self._stacked.leaf_values(X)  # (n, T) per-tree P(class 1)
+        alphas = np.asarray(self.alphas_, dtype=np.float64)
+        return (2.0 * leaf_p - 1.0) @ alphas / alphas.sum()
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         margin = self.decision_function(X)

@@ -21,6 +21,7 @@ from typing import Any, Callable, Protocol
 
 import numpy as np
 
+from .binning import BinnedDataset
 from .metrics import average_precision
 
 
@@ -91,6 +92,7 @@ def grid_search(
     y: np.ndarray,
     groups: np.ndarray,
     scorer: Callable[[np.ndarray, np.ndarray], float] = average_precision,
+    binned: BinnedDataset | None = None,
 ) -> GridSearchResult:
     """Grouped-CV grid search, scored on held-out groups.
 
@@ -98,18 +100,35 @@ def grid_search(
     group held out entirely, as in the paper).  Folds whose held-out part
     has no positive samples are skipped for scoring (the metric would be
     undefined), matching how the paper handles its zero-hotspot designs.
+
+    ``binned`` is the experiment split's shared
+    :class:`~repro.ml.binning.BinnedDataset` over exactly the rows of
+    ``X``: estimators that advertise ``accepts_binned`` receive each CV
+    fold as a uint8 row slice (``binned.take(train_idx)``), so the whole
+    search performs zero re-quantisations.  Fold cut points are therefore
+    the ones learned on the full split matrix — the standard
+    histogram-GBM approximation.
     """
     start = time.perf_counter()
+    if binned is not None and binned.n_samples != len(X):
+        raise ValueError("binned dataset does not cover the rows of X")
     splits = GroupKFold().split(groups)
+    # per-fold binned row slices are shared by every grid configuration
+    fold_binned: dict[int, BinnedDataset] = {}
     table: list[tuple[dict[str, Any], float, list[float]]] = []
     for params in iterate_grid(param_grid):
         fold_scores: list[float] = []
-        for train_idx, val_idx, _ in splits:
+        for fold, (train_idx, val_idx, _) in enumerate(splits):
             y_val = y[val_idx]
             if y_val.sum() == 0 or y_val.sum() == len(y_val):
                 continue
             model = model_factory(**params)
-            model.fit(X[train_idx], y[train_idx])
+            if binned is not None and getattr(model, "accepts_binned", False):
+                if fold not in fold_binned:
+                    fold_binned[fold] = binned.take(train_idx)
+                model.fit(X[train_idx], y[train_idx], binned=fold_binned[fold])
+            else:
+                model.fit(X[train_idx], y[train_idx])
             scores = positive_scores(model, X[val_idx])
             fold_scores.append(float(scorer(y_val, scores)))
         mean = float(np.mean(fold_scores)) if fold_scores else float("-inf")

@@ -2,9 +2,39 @@
 
 The base learner underneath the Random Forest and RUSBoost models.  Split
 search is histogram-based over pre-binned features
-(:mod:`repro.ml.binning`): for every candidate feature, one weighted
-``bincount`` over the node's samples yields all candidate splits at once,
-so a node costs O(n_node · mtry) instead of O(n_node log n_node · mtry).
+(:mod:`repro.ml.binning`): every node owns one weighted ``(F, B)``
+histogram pair (totals and positives), where ``B`` is the *actual* widest
+bin count of the mapper — not a hardcoded 256 — so a node costs
+O(n_node · F + F · B) instead of O(n_node log n_node · F).
+
+Two histogram tricks keep that cost down (LightGBM-style):
+
+* **feature-major gather** — codes live in a cached ``(F, n)`` contiguous
+  matrix shared by every tree grown from the same
+  :class:`~repro.ml.binning.BinnedDataset`; one node's histogram input is a
+  single ``codes_T[:, indices]`` gather, with no per-node ``np.tile``
+  temporaries;
+* **sibling subtraction** — after a split, only the *smaller* child's
+  histogram is built from data; the sibling's is derived as
+  ``parent − small`` (exact for integer-valued weights such as bootstrap
+  counts; for fractional weights each bin drifts by at most ~1 ulp of the
+  parent sum, because parent and child accumulate their weights in
+  different orders).  That drift can perturb *exactly tied* gains, so the
+  split scan resolves ties with a tolerance: every cut within a hair of
+  the best gain counts as tied and the first one wins, which makes
+  subtraction-built trees bit-identical to direct-histogram trees.
+  Subtraction is applied per node only where it is actually cheaper — the
+  derived histogram costs O(F·B) while a direct build costs O(F·n rows),
+  so tiny deep-tree nodes keep the direct path (the result is identical
+  either way; the gate is purely a cost decision).
+
+Histograms are built over **all** features; the per-node random subset
+(``max_features``) is applied as a mask when scanning for the best split.
+That is what makes parent-minus-child subtraction valid under per-node
+feature sampling — parent and child histograms always cover the same
+feature set.  Telemetry counters ``ml.hist.builds``,
+``ml.hist.subtractions`` and ``ml.tree.nodes`` (also kept per-fit in
+``fit_stats_``) let the run manifest prove the build/subtraction ratio.
 
 The fitted tree is stored as flat parallel arrays (the same layout
 scikit-learn uses), which is exactly what the SHAP tree explainer needs:
@@ -24,7 +54,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .binning import BinMapper
+from ..runtime.telemetry import get_tracer
+from .binning import BinMapper, BinnedDataset, as_binned_dataset
 
 #: sentinel for "no child" / "not a split node"
 LEAF = -1
@@ -106,14 +137,22 @@ def _impurity(pos: np.ndarray, tot: np.ndarray, criterion: str) -> np.ndarray:
     return h
 
 
-@dataclass
 class _NodeTask:
     """Work item of the depth-first growth stack."""
 
-    indices: np.ndarray
-    depth: int
-    parent: int
-    is_left: bool
+    __slots__ = ("indices", "depth", "parent", "is_left", "tot", "pos",
+                 "hist_tot", "hist_pos")
+
+    def __init__(self, indices, depth, parent, is_left, tot, pos,
+                 hist_tot=None, hist_pos=None):
+        self.indices = indices
+        self.depth = depth
+        self.parent = parent
+        self.is_left = is_left
+        self.tot = tot  # exact weighted sample count (never histogram-derived)
+        self.pos = pos
+        self.hist_tot = hist_tot  # (F, B) or None -> build on demand
+        self.hist_pos = hist_pos
 
 
 class DecisionTreeClassifier:
@@ -121,7 +160,9 @@ class DecisionTreeClassifier:
 
     Parameters mirror scikit-learn where they share names.  ``max_features``
     may be ``"sqrt"``, ``"log2"``, ``None`` (all), an int, or a float
-    fraction.
+    fraction.  ``hist_subtraction`` disables the sibling-subtraction trick
+    (both children built from data) — the reference mode the equivalence
+    property tests compare against.
     """
 
     def __init__(
@@ -133,6 +174,7 @@ class DecisionTreeClassifier:
         criterion: str = "gini",
         max_bins: int = 256,
         random_state: int | np.random.Generator | None = None,
+        hist_subtraction: bool = True,
     ):
         if criterion not in ("gini", "entropy"):
             raise ValueError(f"unknown criterion {criterion!r}")
@@ -143,30 +185,38 @@ class DecisionTreeClassifier:
         self.criterion = criterion
         self.max_bins = max_bins
         self.random_state = random_state
+        self.hist_subtraction = hist_subtraction
         self.tree_: TreeArrays | None = None
+        self.fit_stats_: dict[str, int] = {}
         self._mapper: BinMapper | None = None
 
     # -- sklearn-ish API ------------------------------------------------------------
 
     def fit(
         self,
-        X: np.ndarray,
+        X: np.ndarray | None,
         y: np.ndarray,
         sample_weight: np.ndarray | None = None,
-        binned: tuple[BinMapper, np.ndarray] | None = None,
+        binned: BinnedDataset | tuple[BinMapper, np.ndarray] | None = None,
     ) -> "DecisionTreeClassifier":
         """Grow the tree.
 
-        ``binned`` lets an ensemble share one (mapper, codes) pair across
-        hundreds of trees instead of re-binning per tree.
+        ``binned`` lets an ensemble share one :class:`BinnedDataset` (or the
+        legacy ``(mapper, codes)`` pair) across hundreds of trees instead of
+        re-binning per tree; with it, ``X`` may be ``None`` — prediction
+        uses real-valued thresholds, never the training matrix.
         """
-        X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y).astype(np.int8).ravel()
-        if X.ndim != 2 or len(X) != len(y):
-            raise ValueError("bad X/y shapes")
+        if X is not None:
+            X = np.asarray(X, dtype=np.float64)
+            if X.ndim != 2 or len(X) != len(y):
+                raise ValueError("bad X/y shapes")
         if not np.isin(y, (0, 1)).all():
             raise ValueError("labels must be binary 0/1")
-        n, n_features = X.shape
+        dataset = as_binned_dataset(binned, X, self.max_bins)
+        if dataset.n_samples != len(y):
+            raise ValueError("binned codes / y length mismatch")
+        n, n_features = dataset.n_samples, dataset.n_features
         w = (
             np.ones(n, dtype=np.float64)
             if sample_weight is None
@@ -175,11 +225,7 @@ class DecisionTreeClassifier:
         if w.shape != (n,):
             raise ValueError("sample_weight shape mismatch")
 
-        if binned is not None:
-            mapper, codes = binned
-        else:
-            mapper = BinMapper(self.max_bins)
-            codes = mapper.fit_transform(X)
+        mapper = dataset.mapper
         self._mapper = mapper
         rng = (
             self.random_state
@@ -188,21 +234,39 @@ class DecisionTreeClassifier:
         )
         mtry = self._resolve_max_features(n_features)
 
-        # Zero-weight samples (bootstrap misses, boosting zeros) can never
-        # influence a split — drop them up front.  With bootstrap weights
-        # this removes ~37% of rows from every histogram.
-        nonzero = np.flatnonzero(w > 0)
-        if len(nonzero) == 0:
+        if not w.sum() > 0:
             raise ValueError("all sample weights are zero")
-        if len(nonzero) < n:
-            codes = codes[nonzero]
-            y = y[nonzero]
-            w = w[nonzero]
-            n = len(nonzero)
         # Normalise to mean weight 1 so min_samples_* thresholds (compared
         # against weighted counts) keep their "effective samples" meaning
         # regardless of the caller's weight scale (boosting uses ~1/n).
+        # Zero-weight rows stay in the index sets: they contribute nothing
+        # to any histogram but do count toward min_samples_split, exactly
+        # like the pre-histogram-subtraction implementation.
         w = w * (n / w.sum())
+        wy = w * (y == 1)
+        root_idx = np.arange(n, dtype=np.int64)
+
+        codes_T = dataset.codes_T
+        B = dataset.n_bins_max
+        can_split = B >= 2
+        msl = float(self.min_samples_leaf)
+        n_builds = n_subtractions = 0
+        offsets = np.arange(n_features, dtype=np.int64)[:, None] * B
+
+        def build_hist(indices: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+            """One weighted (F, B) histogram pair from a contiguous gather."""
+            sub = codes_T[:, indices]  # (F, n_node), C-contiguous
+            flat = (offsets + sub).ravel()
+            shape = sub.shape
+            h_tot = np.bincount(
+                flat, weights=np.broadcast_to(w[indices], shape).ravel(),
+                minlength=n_features * B,
+            ).reshape(n_features, B)
+            h_pos = np.bincount(
+                flat, weights=np.broadcast_to(wy[indices], shape).ravel(),
+                minlength=n_features * B,
+            ).reshape(n_features, B)
+            return h_tot, h_pos
 
         # growable node arrays
         cl: list[int] = []
@@ -212,42 +276,112 @@ class DecisionTreeClassifier:
         cover: list[float] = []
         value: list[float] = []
 
-        def new_node(indices: np.ndarray) -> int:
+        def new_node(tot: float, pos: float) -> int:
             node_id = len(cl)
             cl.append(LEAF)
             cr.append(LEAF)
             feat.append(LEAF)
             thr.append(np.nan)
-            wi = w[indices]
-            tot = float(wi.sum())
-            pos = float(wi[y[indices] == 1].sum())
             cover.append(tot)
             value.append(pos / tot if tot > 0 else 0.0)
             return node_id
 
-        root_idx = np.arange(n, dtype=np.int64)
-        stack = [_NodeTask(root_idx, 0, parent=-1, is_left=False)]
+        def may_split(n_child: int, depth: int, tot: float, pos: float) -> bool:
+            """Whether a child node can possibly be split further."""
+            if not can_split or n_child < self.min_samples_split:
+                return False
+            if self.max_depth is not None and depth >= self.max_depth:
+                return False
+            return 0.0 < pos < tot  # not pure
+
+        root_tot = float(w[root_idx].sum())
+        root_pos = float(wy[root_idx].sum())
+        stack = [_NodeTask(root_idx, 0, -1, False, root_tot, root_pos)]
         while stack:
             task = stack.pop()
-            node_id = new_node(task.indices)
+            node_id = new_node(task.tot, task.pos)
             if task.parent >= 0:
                 if task.is_left:
                     cl[task.parent] = node_id
                 else:
                     cr[task.parent] = node_id
+            if not may_split(len(task.indices), task.depth, task.tot, task.pos):
+                continue
 
-            split = self._find_split(codes, y, w, task.indices, task.depth, mtry, rng)
+            # the per-node feature subset is drawn before the histogram so
+            # the RNG stream is identical with and without subtraction;
+            # sorted so the scan's first-wins tie-break follows global
+            # feature order, independent of the draw order
+            allowed = (
+                np.sort(rng.choice(n_features, size=mtry, replace=False))
+                if mtry < n_features
+                else None
+            )
+            if task.hist_tot is None:
+                hist_tot, hist_pos = build_hist(task.indices)
+                n_builds += 1
+            else:
+                hist_tot, hist_pos = task.hist_tot, task.hist_pos
+                task.hist_tot = task.hist_pos = None
+            split = self._scan_histogram(
+                hist_tot, hist_pos, task.tot, task.pos, allowed
+            )
             if split is None:
                 continue
-            f, code_cut, left_mask = split
+            f, cut = split
             feat[node_id] = f
-            thr[node_id] = mapper.threshold_value(f, code_cut)
+            thr[node_id] = mapper.threshold_value(f, cut)
+            left_mask = codes_T[f, task.indices] <= cut
             left_idx = task.indices[left_mask]
             right_idx = task.indices[~left_mask]
+            # exact child stats from data (never histogram-derived, so the
+            # stored cover/value and the stop checks are identical with and
+            # without subtraction)
+            l_tot = float(w[left_idx].sum())
+            l_pos = float(wy[left_idx].sum())
+            r_tot = float(w[right_idx].sum())
+            r_pos = float(wy[right_idx].sum())
+
+            left = _NodeTask(left_idx, task.depth + 1, node_id, True, l_tot, l_pos)
+            right = _NodeTask(right_idx, task.depth + 1, node_id, False, r_tot, r_pos)
+            need_l = may_split(len(left_idx), left.depth, l_tot, l_pos)
+            need_r = may_split(len(right_idx), right.depth, r_tot, r_pos)
+            if need_l or need_r:
+                small, big = (
+                    (left, right) if len(left_idx) <= len(right_idx) else (right, left)
+                )
+                need_small = need_l if small is left else need_r
+                need_big = need_r if small is left else need_l
+                # When the small child's histogram is needed anyway, deriving
+                # the big sibling replaces a whole build with one cheap
+                # (F, B) subtraction — always a win.  When the small build
+                # would happen *only* to enable the subtraction, the win is
+                # just the row-count difference between the children, which
+                # must beat the subtraction's O(F·B) cost (crossover is
+                # around B/8 rows: a bin-wise subtract touches ~2·B cells per
+                # feature at a fraction of the per-row gather+bincount cost).
+                worth = need_small or (
+                    len(big.indices) - len(small.indices) >= B // 8
+                )
+                if self.hist_subtraction and need_big and worth:
+                    small_tot, small_pos = build_hist(small.indices)
+                    n_builds += 1
+                    # reuse the parent's arrays for the derived sibling
+                    np.subtract(hist_tot, small_tot, out=hist_tot)
+                    np.subtract(hist_pos, small_pos, out=hist_pos)
+                    n_subtractions += 1
+                    big.hist_tot, big.hist_pos = hist_tot, hist_pos
+                    if need_small:
+                        small.hist_tot, small.hist_pos = small_tot, small_pos
+                else:
+                    for child, needed in ((small, need_small), (big, need_big)):
+                        if needed:
+                            child.hist_tot, child.hist_pos = build_hist(child.indices)
+                            n_builds += 1
             # push right first so the left child is materialised immediately
             # after its parent (purely cosmetic: sklearn-like preordering)
-            stack.append(_NodeTask(right_idx, task.depth + 1, node_id, False))
-            stack.append(_NodeTask(left_idx, task.depth + 1, node_id, True))
+            stack.append(right)
+            stack.append(left)
 
         self.tree_ = TreeArrays(
             children_left=np.asarray(cl, dtype=np.int32),
@@ -257,6 +391,14 @@ class DecisionTreeClassifier:
             cover=np.asarray(cover, dtype=np.float64),
             value=np.asarray(value, dtype=np.float64),
         )
+        self.fit_stats_ = {
+            "ml.hist.builds": n_builds,
+            "ml.hist.subtractions": n_subtractions,
+            "ml.tree.nodes": len(cl),
+        }
+        tracer = get_tracer()
+        for name, v in self.fit_stats_.items():
+            tracer.counter(name, v)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -285,46 +427,25 @@ class DecisionTreeClassifier:
             return max(1, min(n_features, mf))
         raise ValueError(f"bad max_features {mf!r}")
 
-    def _find_split(
+    def _scan_histogram(
         self,
-        codes: np.ndarray,
-        y: np.ndarray,
-        w: np.ndarray,
-        indices: np.ndarray,
-        depth: int,
-        mtry: int,
-        rng: np.random.Generator,
-    ) -> tuple[int, int, np.ndarray] | None:
-        """Best (feature, bin cut, left mask) at a node, or None for a leaf."""
-        n_node = len(indices)
-        if n_node < self.min_samples_split:
-            return None
-        if self.max_depth is not None and depth >= self.max_depth:
-            return None
-        yi = y[indices]
-        wi = w[indices]
-        w_tot = wi.sum()
-        w_pos = wi[yi == 1].sum()
-        if w_pos <= 0.0 or w_pos >= w_tot:  # pure node
-            return None
+        hist_tot: np.ndarray,
+        hist_pos: np.ndarray,
+        w_tot: float,
+        w_pos: float,
+        allowed: np.ndarray | None,
+    ) -> tuple[int, int] | None:
+        """Best (feature, bin cut) in a node's histogram, or None for a leaf.
 
-        n_features = codes.shape[1]
-        feats = (
-            rng.choice(n_features, size=mtry, replace=False)
-            if mtry < n_features
-            else np.arange(n_features)
-        )
-        sub = codes[indices][:, feats].astype(np.int64)  # (n_node, mtry)
-
-        # one flattened weighted histogram for all candidate features
-        flat = sub + np.arange(len(feats), dtype=np.int64) * 256
-        minlength = len(feats) * 256
-        hist_tot = np.bincount(flat.ravel(order="F"), weights=np.tile(wi, len(feats)), minlength=minlength)
-        wi_pos = wi * (yi == 1)
-        hist_pos = np.bincount(flat.ravel(order="F"), weights=np.tile(wi_pos, len(feats)), minlength=minlength)
-        hist_tot = hist_tot.reshape(len(feats), 256)
-        hist_pos = hist_pos.reshape(len(feats), 256)
-
+        ``allowed`` is the node's random feature subset; the scan slices the
+        full-F histograms down to those rows, so subsampling never changes
+        which histograms get built (that is what keeps subtraction valid)
+        while the prefix-sum/impurity math only pays for ``mtry`` features.
+        """
+        if allowed is not None:
+            hist_tot = hist_tot[allowed]
+            hist_pos = hist_pos[allowed]
+        B = hist_tot.shape[1]
         # prefix sums: splitting after bin c puts codes <= c on the left
         left_tot = np.cumsum(hist_tot, axis=1)[:, :-1]
         left_pos = np.cumsum(hist_pos, axis=1)[:, :-1]
@@ -341,16 +462,27 @@ class DecisionTreeClassifier:
         gain = parent_imp - child_imp
 
         # feasibility: both sides non-empty & honour min_samples_leaf
-        # (approximated in weighted counts; exact for unit weights)
+        # (approximated in weighted counts; exact for unit weights).  Cuts at
+        # or past a narrow feature's last bin leave the right side empty and
+        # are excluded here too.
         feasible = (left_tot >= self.min_samples_leaf) & (
             right_tot >= self.min_samples_leaf
         )
         gain = np.where(feasible, gain, -np.inf)
-        best_flat = int(np.argmax(gain))
-        best_gain = gain.ravel()[best_flat]
+        best_gain = float(gain.max())
         if not np.isfinite(best_gain) or best_gain <= 1e-12:
             return None
-        fi, cut = divmod(best_flat, 255)
-        f_global = int(feats[fi])
-        left_mask = sub[:, fi] <= cut
-        return f_global, int(cut), left_mask
+        # Deterministic tie-break, immune to sibling-subtraction drift: a
+        # derived (parent - small) histogram can carry ~1 ulp residue even in
+        # bins that are exactly empty in the child (different summation
+        # order), which would let a plain argmax pick different members of an
+        # exactly-tied cut set than the direct build does.  Treat every cut
+        # within a hair of the best gain as tied and take the first — both
+        # modes see the same tie set because true gain gaps are either zero
+        # or orders of magnitude wider than the drift.
+        tol = 1e-9 * max(1.0, abs(best_gain))
+        best_flat = int(np.argmax(gain.ravel() >= best_gain - tol))
+        f, cut = divmod(best_flat, B - 1)
+        if allowed is not None:
+            f = int(allowed[f])
+        return int(f), int(cut)

@@ -11,11 +11,17 @@ from repro.ml.forest import RandomForestClassifier
 
 def _fast_models():
     def make_rf(**kw):
-        return RandomForestClassifier(n_estimators=15, random_state=0, **kw)
+        return RandomForestClassifier(
+            n_estimators=40, class_weight="balanced", random_state=0, **kw
+        )
 
     def make_shallow(**kw):
+        # a deterministic single stump (no bootstrap, all features): a
+        # zero-variance baseline, so "deeper beats stumps" does not hinge
+        # on which random stream the stump forest happens to draw
         return RandomForestClassifier(
-            n_estimators=3, max_depth=1, random_state=0, **kw
+            n_estimators=1, max_depth=1, bootstrap=False, max_features=None,
+            random_state=0, **kw
         )
 
     return [

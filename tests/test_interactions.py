@@ -19,7 +19,12 @@ def _and_forest(seed: int = 0):
     rng = np.random.default_rng(seed)
     X = rng.normal(size=(500, 4))
     y = ((X[:, 0] > 0) & (X[:, 1] > 0)).astype(int)
-    rf = RandomForestClassifier(n_estimators=4, max_depth=3, random_state=seed).fit(X, y)
+    # all features at every node: a 4-tree forest under "sqrt" sampling can
+    # miss the AND structure in some trees, making the interaction mass a
+    # coin flip on the per-node draws rather than a property of the model
+    rf = RandomForestClassifier(
+        n_estimators=4, max_depth=3, max_features=None, random_state=seed
+    ).fit(X, y)
     return rf, X
 
 

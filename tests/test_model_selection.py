@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.ml.binning import BinnedDataset
 from repro.ml.complexity import complexity_of
 from repro.ml.boosting import RUSBoostClassifier
 from repro.ml.forest import RandomForestClassifier
@@ -70,6 +71,55 @@ class TestGrid:
         result = grid_search(factory, {}, X, y, groups)
         (params, mean, folds) = result.table[0]
         assert len(folds) <= 3 or all(np.isfinite(folds))
+
+    def test_all_folds_skipped_scores_minus_inf(self):
+        """Every fold single-class: no config is ever fitted, every mean is
+        -inf, and the first grid configuration wins deterministically."""
+        rng = np.random.default_rng(66)
+        X = rng.normal(size=(80, 4))
+        groups = np.repeat([0, 1], 40)
+        y = (groups == 0).astype(np.int8)  # each held-out group is pure
+
+        def factory(max_depth=1):
+            return RandomForestClassifier(
+                n_estimators=3, max_depth=max_depth, random_state=0
+            )
+
+        result = grid_search(factory, {"max_depth": [1, 8]}, X, y, groups)
+        assert result.best_score == float("-inf")
+        assert result.best_params == {"max_depth": 1}
+        for _, mean, folds in result.table:
+            assert folds == [] and mean == float("-inf")
+
+    def test_grid_search_with_shared_binned_dataset(self):
+        """The bin-once path must pick the same winner as the plain path."""
+        X, y = make_separable(n=1200, seed=60)
+        groups = np.repeat(np.arange(4), 300)
+        binned = BinnedDataset.from_matrix(X)
+
+        def factory(max_depth=1):
+            return RandomForestClassifier(
+                n_estimators=15, max_depth=max_depth, random_state=0
+            )
+
+        result = grid_search(
+            factory, {"max_depth": [1, 8]}, X, y, groups, binned=binned
+        )
+        assert result.best_params == {"max_depth": 8}
+        assert result.best_score > 0.4
+
+    def test_binned_row_mismatch_raises(self):
+        X, y = make_separable(n=200, seed=67)
+        binned = BinnedDataset.from_matrix(X)
+        with pytest.raises(ValueError):
+            grid_search(
+                lambda: RandomForestClassifier(n_estimators=2, random_state=0),
+                {},
+                X[:100],
+                y[:100],
+                np.repeat([0, 1], 50),
+                binned=binned,
+            )
 
 
 class TestPositiveScores:
