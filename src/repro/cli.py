@@ -29,9 +29,18 @@ JSONL span trace to PATH plus an aggregated manifest next to it) and
 ``--no-telemetry`` (force telemetry off).  Without ``--trace``, telemetry
 stays disabled and no sink file is ever created.
 
+The heavy commands run under two-stage signal handling: the first
+SIGTERM/SIGINT stops dispatching new units, drains and checkpoints what is
+in flight, flushes the telemetry sinks, and exits with the resumable code
+4 — rerunning with ``--resume`` (the default) continues exactly where the
+run stopped.  A second signal hard-exits immediately.  Worker supervision
+flags ``--max-pool-respawns``, ``--quarantine-threshold`` and
+``--heartbeat`` control how ``--jobs N`` runs survive SIGKILLed or hung
+worker processes (see :mod:`repro.runtime.parallel`).
+
 Exit codes: 0 success, 1 runtime error, 2 usage error, 3 completed but
 degraded (some units failed and were skipped; the failure log is printed
-to stderr).
+to stderr), 4 interrupted by a shutdown signal but resumable.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ import argparse
 import json
 import os
 import sys
+from contextlib import nullcontext
 from pathlib import Path
 
 from .bench.generator import DesignRecipe
@@ -56,7 +66,14 @@ from .core.pipeline import (
 )
 from .features.names import describe_feature, feature_names
 from .layout.design_stats import format_table1, group_statistics
-from .runtime import FaultTolerantRunner, ParallelRunner, ReproRuntimeError, RetryPolicy
+from .runtime import (
+    FaultTolerantRunner,
+    ParallelRunner,
+    ReproRuntimeError,
+    RetryPolicy,
+    ShutdownRequested,
+    graceful_shutdown,
+)
 from .runtime.telemetry import (
     Tracer,
     activate,
@@ -73,6 +90,11 @@ from .runtime.telemetry import (
 
 #: Exit code when a run finished but some units failed and were skipped.
 EXIT_DEGRADED = 3
+
+#: Exit code when a shutdown signal interrupted the run after a clean flush:
+#: checkpoints and telemetry sinks are valid, and ``--resume`` continues
+#: exactly where the run stopped.
+EXIT_INTERRUPTED = 4
 
 
 def _positive_int(text: str) -> int:
@@ -94,6 +116,17 @@ def _nonneg_int(text: str) -> int:
         raise argparse.ArgumentTypeError(f"{text!r} is not an integer") from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a float > 0 (heartbeat windows)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -131,6 +164,20 @@ def _add_resilience_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--fail-fast", action="store_true",
                    help="abort on the first permanently failed unit instead "
                         "of recording + skipping it")
+    p.add_argument("--max-pool-respawns", type=_nonneg_int, default=3,
+                   metavar="N",
+                   help="how many worker-pool breakages (SIGKILLed/hung "
+                        "workers) to survive per stage before aborting "
+                        "(default 3; parallel runs only)")
+    p.add_argument("--quarantine-threshold", type=_positive_int, default=2,
+                   metavar="N",
+                   help="crashes charged to one unit before it is "
+                        "quarantined as a worker_crash failure instead of "
+                        "re-dispatched (default 2; parallel runs only)")
+    p.add_argument("--heartbeat", type=_positive_float, default=None, metavar="SEC",
+                   help="declare a worker hung (kill + respawn the pool) "
+                        "when a unit attempt completes nothing for SEC "
+                        "seconds (default off; parallel runs only)")
 
 
 def _runner_from_args(args: argparse.Namespace) -> FaultTolerantRunner:
@@ -141,7 +188,12 @@ def _runner_from_args(args: argparse.Namespace) -> FaultTolerantRunner:
     )
     jobs = getattr(args, "jobs", 1)
     if jobs > 1:
-        return ParallelRunner(jobs, policy, fail_fast=args.fail_fast, verbose=True)
+        return ParallelRunner(
+            jobs, policy, fail_fast=args.fail_fast, verbose=True,
+            max_pool_respawns=getattr(args, "max_pool_respawns", 3),
+            quarantine_threshold=getattr(args, "quarantine_threshold", 2),
+            heartbeat_s=getattr(args, "heartbeat", None),
+        )
     return FaultTolerantRunner(policy, fail_fast=args.fail_fast, verbose=True)
 
 
@@ -339,10 +391,18 @@ def _trace_cmd(args: argparse.Namespace) -> int:
         print(_render_manifest(doc))
         return 0
     try:
-        trace = load_trace(path)
+        # lenient: a killed process tears at most the trailing line(s); drop
+        # them with a warning instead of refusing the whole trace
+        trace = load_trace(path, strict=False)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    if trace.dropped:
+        print(
+            f"warning: skipped {trace.dropped} truncated/corrupt trace "
+            f"line(s) in {path}",
+            file=sys.stderr,
+        )
     meta = trace.meta
     print(f"run      : {meta.get('run_id', '?')}")
     print(f"command  : {meta.get('command', '?')}")
@@ -447,9 +507,18 @@ def main(argv: list[str] | None = None) -> int:
     telemetry_on = (trace_path is not None
                     and getattr(args, "telemetry", True)
                     and args.command != "trace")
+    # two-stage SIGTERM/SIGINT handling guards every resumable command:
+    # first signal drains + flushes (exit 4, --resume continues), second
+    # hard-exits.  Commands without resilience flags finish too fast to need
+    # it, and `trace` is read-only.
+    supervised = hasattr(args, "resume")
     if not telemetry_on:
         try:
-            return args.func(args)
+            with graceful_shutdown() if supervised else nullcontext():
+                return args.func(args)
+        except ShutdownRequested as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return EXIT_INTERRUPTED
         except ReproRuntimeError as exc:
             print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
             return 1
@@ -458,12 +527,17 @@ def main(argv: list[str] | None = None) -> int:
     argv_list = list(argv) if argv is not None else sys.argv[1:]
     try:
         with activate(tracer), tracer.span(args.command):
-            code = args.func(args)
+            with graceful_shutdown() if supervised else nullcontext():
+                code = args.func(args)
+    except ShutdownRequested as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        code = EXIT_INTERRUPTED
     except ReproRuntimeError as exc:
         print(f"error: {type(exc).__name__}: {exc}", file=sys.stderr)
         code = 1
-    # Sinks are written for success, degraded and error exits alike —
-    # a KeyboardInterrupt propagates before reaching here by design.
+    # Sinks are written for success, degraded, interrupted and error exits
+    # alike — a KeyboardInterrupt outside the supervised block propagates
+    # before reaching here by design.
     _write_telemetry(tracer, args, argv_list)
     return code
 

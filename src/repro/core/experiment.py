@@ -393,8 +393,18 @@ def run_experiment(
     parent's process clock, so measuring in the parent would report ~0 for
     parallel runs.  Aggregation iterates groups in sorted order, so a
     parallel run's Table II is identical to a serial one.
+
+    A graceful-shutdown signal propagates out of ``runner.run_units`` as
+    :class:`~repro.runtime.errors.ShutdownRequested` *between* units: every
+    unit that completed before the signal has already been checkpointed by
+    the parent-side ``on_result`` callback, so re-running with ``resume=True``
+    recomputes only the units the signal cut off.
     """
     tracer = get_tracer()
+    # zero-register so every manifest reports the grid's counters, even for
+    # a fully resumed (all-checkpoint) run
+    for key in ("experiment.designs_scored", "checkpoint.resume_skips"):
+        tracer.counter(key, 0)
     if runner is None:
         runner = FaultTolerantRunner(fail_fast=True, verbose=verbose)
     store = CheckpointStore(checkpoint_dir) if checkpoint_dir is not None else None

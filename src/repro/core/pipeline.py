@@ -57,7 +57,9 @@ from ..route.router import RouterConfig, RoutingResult, route_design
 from ..runtime.checkpoint import (
     CheckpointStore,
     atomic_write_text,
+    fsync_dir,
     sha256_of,
+    sweep_orphan_temps,
     unique_tmp_suffix,
 )
 from ..runtime.errors import CacheCorruptionError, StageFailure, ValidationError
@@ -346,6 +348,7 @@ def _write_suite_cache(
     try:
         suite.save(tmp)
         os.replace(tmp, cache_path)
+        fsync_dir(cache_path.parent)  # durable across power loss, not just crashes
     finally:
         tmp.unlink(missing_ok=True)
     atomic_write_text(
@@ -390,12 +393,15 @@ def build_suite_dataset(
     tracer = get_tracer()
     # zero-register the builder's counters so every manifest reports them
     for key in ("cache.suite.hits", "cache.suite.misses",
-                "cache.suite.invalidated", "checkpoint.resume_skips"):
+                "cache.suite.invalidated", "checkpoint.resume_skips",
+                "runtime.cache.orphans_swept"):
         tracer.counter(key, 0)
     sidecar: Path | None = None
     if cache_path is not None:
         cache_path = Path(cache_path)
         sidecar = cache_path.with_suffix(".stats.json")
+        # reclaim temp files a killed writer left next to the cache pair
+        sweep_orphan_temps(cache_path.parent)
         cached = _load_suite_cache(cache_path, sidecar)
         if cached is not None:
             tracer.counter("cache.suite.hits")

@@ -9,7 +9,13 @@ long-running path resumable and failure-isolated:
 * :mod:`repro.runtime.runner` — per-unit try/except isolation, retry with
   backoff, wall-clock timeouts, and a structured failure log;
 * :mod:`repro.runtime.parallel` — a process-pool runner with the same unit
-  semantics, for fanning independent units out across CPU cores;
+  semantics, for fanning independent units out across CPU cores; the pool is
+  *supervised*: dead workers are detected and respawned with backoff, hung
+  attempts are heartbeat-killed, and poison units are quarantined as
+  structured ``worker_crash`` failures instead of breaking pools forever;
+* :mod:`repro.runtime.supervision` — two-stage SIGTERM/SIGINT handling:
+  first signal drains, checkpoints and flushes (resumable exit), second
+  hard-exits;
 * :mod:`repro.runtime.validation` — NaN/Inf/shape/dtype guards on feature
   matrices and label vectors;
 * :mod:`repro.runtime.errors` — the typed error taxonomy
@@ -22,18 +28,29 @@ long-running path resumable and failure-isolated:
   snapshots so worker telemetry merges deterministically into the parent.
 """
 
-from .checkpoint import CHECKPOINT_FORMAT_VERSION, CheckpointStore, atomic_write_bytes, sha256_of
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    atomic_write_bytes,
+    fsync_dir,
+    sha256_of,
+    sweep_orphan_temps,
+)
 from .errors import (
     CacheCorruptionError,
     FaultInjected,
+    PoolRespawnLimitError,
     ReproRuntimeError,
+    ShutdownRequested,
     StageFailure,
     StageTimeout,
     ValidationError,
+    WorkerCrashError,
 )
 from .faults import FaultSpec, inject_faults
 from .parallel import ParallelRunner
 from .runner import FailureLog, FailureRecord, FaultTolerantRunner, RetryPolicy, UnitOutcome
+from .supervision import graceful_shutdown, shutdown_requested
 from .telemetry import (
     TELEMETRY_SCHEMA_VERSION,
     SpanNode,
@@ -62,8 +79,10 @@ __all__ = [
     "FaultSpec",
     "FaultTolerantRunner",
     "ParallelRunner",
+    "PoolRespawnLimitError",
     "ReproRuntimeError",
     "RetryPolicy",
+    "ShutdownRequested",
     "SpanNode",
     "StageFailure",
     "StageTimeout",
@@ -71,16 +90,21 @@ __all__ = [
     "Tracer",
     "UnitOutcome",
     "ValidationError",
+    "WorkerCrashError",
     "activate",
     "atomic_write_bytes",
     "build_manifest",
+    "fsync_dir",
     "get_tracer",
+    "graceful_shutdown",
     "inject_faults",
     "load_trace",
     "manifest_path_for",
     "new_run_id",
     "sha256_of",
+    "shutdown_requested",
     "stable_view",
+    "sweep_orphan_temps",
     "validate_features",
     "write_manifest",
     "write_trace",

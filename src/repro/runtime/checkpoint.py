@@ -25,6 +25,7 @@ import itertools
 import json
 import os
 import re
+import time
 from pathlib import Path
 from typing import Any, Iterator
 
@@ -66,20 +67,90 @@ def sha256_of(path: str | Path, chunk: int = 1 << 20) -> str:
 #: call) would race on the same temp path and could tear each other's write.
 _TMP_COUNTER = itertools.count()
 
+#: How old an orphaned ``.*.tmp*`` file must be before the startup sweep
+#: deletes it.  Generous on purpose: a *live* writer's temp file exists for
+#: seconds, so an hour-old one can only be the residue of a killed process.
+ORPHAN_TMP_MAX_AGE_S = 3600.0
+
+#: Glob matching every temp name this module ever creates
+#: (``.{name}.tmp{pid}-{n}`` and the suite writer's ``.{stem}.tmp{pid}-{n}.npz``).
+_TMP_GLOB = ".*.tmp*"
+
 
 def unique_tmp_suffix() -> str:
     """A temp-name component unique per (process, call): ``<pid>-<counter>``."""
     return f"{os.getpid()}-{next(_TMP_COUNTER)}"
 
 
+def fsync_dir(path: str | Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss.
+
+    ``os.replace`` makes the rename atomic against *crashes of the writer*,
+    but the new directory entry itself lives in the page cache until the
+    directory inode is flushed — on power loss the file can revert to its
+    old name (or vanish).  Best-effort: platforms that cannot open
+    directories (Windows) or filesystems that reject directory fsync are
+    silently tolerated, matching POSIX durability folklore.
+    """
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def sweep_orphan_temps(
+    root: str | Path, max_age_s: float = ORPHAN_TMP_MAX_AGE_S
+) -> int:
+    """Delete orphaned atomic-write temp files older than the safety window.
+
+    A process killed between ``tmp.write_bytes`` and ``os.replace`` leaves
+    its ``.*.tmp*`` sibling behind forever (the ``finally: unlink`` never
+    ran).  Call this once at startup on every cache/checkpoint directory;
+    the age window guarantees a concurrently *running* writer's temp files
+    are never touched.  Returns how many files were removed and counts them
+    on the ``runtime.cache.orphans_swept`` counter.
+    """
+    root = Path(root)
+    swept = 0
+    if not root.is_dir():
+        return 0
+    cutoff = time.time() - max(0.0, max_age_s)
+    for tmp in root.glob(_TMP_GLOB):
+        try:
+            if not tmp.is_file() or tmp.stat().st_mtime > cutoff:
+                continue
+            tmp.unlink()
+            swept += 1
+        except OSError:
+            continue  # vanished underneath us, or not ours to delete
+    if swept:
+        get_tracer().counter("runtime.cache.orphans_swept", swept)
+    return swept
+
+
 def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
-    """Write ``data`` to ``path`` via a same-directory temp file + rename."""
+    """Write ``data`` to ``path`` via a same-directory temp file + rename.
+
+    The temp file is flushed to disk before the rename and the containing
+    directory is fsynced after it, so the artefact is durable against power
+    loss, not just against writer crashes.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(f".{path.name}.tmp{unique_tmp_suffix()}")
     try:
-        tmp.write_bytes(data)
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, path)
+        fsync_dir(path.parent)
     finally:
         tmp.unlink(missing_ok=True)
     return path
@@ -95,6 +166,9 @@ class CheckpointStore:
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.manifest_path = self.root / _MANIFEST_NAME
+        # startup hygiene: a writer killed mid-write (SIGKILL, power loss)
+        # leaves temp siblings behind; reclaim them once they are safely old
+        sweep_orphan_temps(self.root)
 
     # -- manifest -----------------------------------------------------------------
 

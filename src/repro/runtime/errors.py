@@ -49,5 +49,58 @@ class StageTimeout(StageFailure):
         super().__init__(stage, unit, attempts, f"timed out after {timeout_s:g}s")
 
 
+class WorkerCrashError(ReproRuntimeError):
+    """A worker process died mid-unit (SIGKILL, OOM, segfault) or stopped
+    heartbeating.  Carries the unit identity and how many times that unit has
+    now been co-resident with a crash, so the supervisor can decide between
+    re-dispatch and quarantine."""
+
+    def __init__(self, stage: str, unit: str, crashes: int, detail: str = ""):
+        self.stage = stage
+        self.unit = unit
+        self.crashes = crashes
+        super().__init__(
+            f"{stage}/{unit}: worker crashed ({detail or 'process died'}; "
+            f"crash #{crashes} for this unit)"
+        )
+
+
+class PoolRespawnLimitError(ReproRuntimeError):
+    """The supervised pool broke more times than ``max_pool_respawns`` allows.
+
+    This is an infrastructure failure (the machine keeps killing workers),
+    not a per-unit one, so it aborts the stage instead of degrading it.
+    """
+
+    def __init__(self, stage: str, respawns: int, limit: int):
+        self.stage = stage
+        self.respawns = respawns
+        self.limit = limit
+        super().__init__(
+            f"{stage}: worker pool broke {respawns} time(s); respawn limit "
+            f"is {limit} — aborting (is the machine out of memory?)"
+        )
+
+
+class ShutdownRequested(ReproRuntimeError):
+    """A graceful-shutdown signal (SIGTERM/SIGINT) interrupted the run.
+
+    Raised by the runners *between* units once the shutdown coordinator's
+    flag is set: everything already completed has been checkpointed, so the
+    run is resumable with ``--resume``.  ``pending`` lists the units that
+    were never dispatched or had to be abandoned.
+    """
+
+    def __init__(self, stage: str, signum: int, pending: list[str] | None = None):
+        self.stage = stage
+        self.signum = signum
+        self.pending = list(pending or [])
+        left = f"; {len(self.pending)} unit(s) left" if self.pending else ""
+        super().__init__(
+            f"{stage}: shutdown requested by signal {signum}{left} — "
+            "checkpoints flushed, rerun with --resume to continue"
+        )
+
+
 class FaultInjected(ReproRuntimeError):
     """Default exception raised by the fault-injection harness."""

@@ -16,16 +16,28 @@ target one unit or a whole family.  Each spec fires a bounded number of
 ``times`` (after skipping the first ``after`` matches), which makes
 retry-then-succeed scenarios deterministic.
 
-Three fault kinds:
+Five fault kinds:
 
 * ``"error"``  — raise ``exception(message)`` from inside the unit;
 * ``"delay"``  — sleep ``delay_s`` inside the unit (trips timeouts);
 * ``"corrupt"`` — flip bytes of an artefact file just after it is written
-  (trips checksums on the next load).
+  (trips checksums on the next load);
+* ``"kill"``   — ``os.kill(os.getpid(), SIGKILL)`` *inside a worker
+  process* (exercises pool breakage and the supervision layer);
+* ``"hang"``   — sleep ``delay_s`` inside a worker without returning
+  (exercises the per-task heartbeat timeout).
 
-Production code calls the module-level hooks :func:`fire` and
-:func:`corrupt_artifact`; both are no-ops unless a plan is active, so the
-hooks cost one attribute check on the hot path.
+``kill`` and ``hang`` are worker-side faults: the parent consumes the spec
+deterministically at submit time (:func:`worker_directive`) and ships a
+plain directive tuple to the worker, so the plan's trigger bookkeeping
+stays in one process even though the crash happens in another.  They are
+deliberately ignored by :func:`fire` — a serial runner SIGKILLing itself
+would take the whole run (and the test harness) down with it.
+
+Production code calls the module-level hooks :func:`fire`,
+:func:`worker_directive` and :func:`corrupt_artifact`; all are no-ops
+unless a plan is active, so the hooks cost one attribute check on the hot
+path.
 """
 
 from __future__ import annotations
@@ -45,7 +57,7 @@ class FaultSpec:
     """One scheduled fault against a stage-name pattern."""
 
     stage: str  # fnmatch pattern against hierarchical stage names
-    kind: str = "error"  # "error" | "delay" | "corrupt"
+    kind: str = "error"  # "error" | "delay" | "corrupt" | "kill" | "hang"
     times: int = 1  # how many matching calls trigger before the spec disarms
     after: int = 0  # skip this many matching calls first
     exception: type[Exception] = FaultInjected
@@ -57,7 +69,7 @@ class FaultSpec:
     fired: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
-        if self.kind not in ("error", "delay", "corrupt"):
+        if self.kind not in ("error", "delay", "corrupt", "kill", "hang"):
             raise ValueError(f"unknown fault kind {self.kind!r}")
 
     def should_fire(self, stage: str) -> bool:
@@ -81,13 +93,27 @@ class FaultPlan:
     def fire(self, stage: str) -> None:
         """Raise/delay per any armed error- or delay-spec matching ``stage``."""
         for spec in self.specs:
-            if spec.kind == "corrupt" or not spec.should_fire(stage):
+            if spec.kind not in ("error", "delay") or not spec.should_fire(stage):
                 continue
             self.triggered.append((stage, spec.kind))
             if spec.kind == "delay":
                 self._sleep(spec.delay_s)
             else:
                 raise spec.exception(f"{spec.message} @ {stage}")
+
+    def worker_directive(self, stage: str) -> tuple[str, float] | None:
+        """Consume an armed kill/hang spec for ``stage`` (parent-side).
+
+        Returns the picklable ``(kind, delay_s)`` directive that the worker
+        executes, or ``None``.  Consuming in the parent keeps the plan's
+        trigger bookkeeping deterministic regardless of worker scheduling.
+        """
+        for spec in self.specs:
+            if spec.kind not in ("kill", "hang") or not spec.should_fire(stage):
+                continue
+            self.triggered.append((stage, spec.kind))
+            return (spec.kind, spec.delay_s)
+        return None
 
     def corrupt_artifact(self, stage: str, path: Path) -> bool:
         """Flip bytes in ``path`` per any armed corrupt-spec matching ``stage``."""
@@ -136,8 +162,39 @@ def fire(stage: str) -> None:
         _ACTIVE.fire(stage)
 
 
+def worker_directive(stage: str) -> tuple[str, float] | None:
+    """Hook called by the parallel runner when submitting a unit attempt."""
+    if _ACTIVE is not None:
+        return _ACTIVE.worker_directive(stage)
+    return None
+
+
 def corrupt_artifact(stage: str, path: Path) -> bool:
     """Hook called by the checkpoint store after writing an artefact."""
     if _ACTIVE is not None:
         return _ACTIVE.corrupt_artifact(stage, path)
     return False
+
+
+def execute_directive(directive: tuple[str, float] | None) -> None:
+    """Execute a kill/hang directive inside a worker process.
+
+    ``kill`` raises SIGKILL against the *current* process — exactly what the
+    OOM killer or a preempting scheduler does — after sleeping ``delay_s``
+    (a deterministic window for co-resident units to finish, keeping crash
+    schedules reproducible); ``hang`` sleeps ``delay_s`` without any
+    cooperation with timeouts, which is how a stuck native library looks
+    from the parent.
+    """
+    if directive is None:
+        return
+    kind, delay_s = directive
+    if kind == "kill":
+        import os
+        import signal
+
+        if delay_s > 0:
+            time.sleep(delay_s)
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif kind == "hang":
+        time.sleep(delay_s)

@@ -1,4 +1,4 @@
-"""Process-pool execution of fault-tolerant units.
+"""Process-pool execution of fault-tolerant units, under supervision.
 
 :class:`ParallelRunner` is a drop-in :class:`~repro.runtime.runner.FaultTolerantRunner`
 whose :meth:`run_units` dispatches unit bodies to a
@@ -20,12 +20,49 @@ semantic:
   units land in :attr:`failures`; ``fail_fast=True`` raises and cancels
   whatever has not started yet;
 * **fault injection** — :func:`repro.runtime.faults.fire` runs in the
-  *parent* at the start of every attempt (worker processes never see the
-  fault plan), so ``inject_faults`` scenarios stay deterministic under
-  parallel execution;
+  *parent* at the start of every attempt, and worker-side kill/hang faults
+  are consumed in the parent too (:func:`repro.runtime.faults.worker_directive`)
+  and shipped to the worker as a plain directive, so ``inject_faults``
+  scenarios stay deterministic under parallel execution;
 * **parent-side checkpointing** — the ``on_result`` callback runs in the
   parent as each unit completes, so all checkpoint-store and cache writes
   keep a single writer process and the atomic-write invariants hold.
+
+On top of those, the runner *supervises* its pool — a SIGKILLed worker (OOM
+killer, preemption, a segfaulting native lib) costs one unit re-dispatch,
+never the run:
+
+* **crash detection** — a dead worker surfaces as ``BrokenProcessPool``;
+  every in-flight unit of the broken pool is re-queued and the pool is
+  respawned with exponential backoff, up to :attr:`max_pool_respawns`
+  breakages per ``run_units`` call (beyond that the machine itself is
+  suspect and :class:`~repro.runtime.errors.PoolRespawnLimitError` aborts
+  the stage);
+* **heartbeat timeout** — with :attr:`heartbeat_s` set, an attempt that has
+  produced no completion for that long is declared hung (a worker stuck in
+  uncooperative native code never trips the in-worker timeout); its workers
+  are killed, breaking the pool into the same respawn path, and the hung
+  unit alone is charged with the crash;
+* **poison-task quarantine** — a unit charged with
+  :attr:`quarantine_threshold` crashes stops being re-dispatched and
+  becomes a structured :class:`~repro.runtime.runner.FailureRecord` with
+  ``kind="worker_crash"`` instead of breaking pools forever.  Attribution
+  uses start announcements: each worker reports "task N started" over a
+  pipe before touching the unit body, so units still queued inside the
+  executor when the pool broke re-queue for free and only units that had
+  *started and not completed* are charged.  With several workers the
+  culprit among those is still unknowable, so an innocent unit repeatedly
+  co-resident with a poison one can be quarantined too — re-running with
+  ``--resume`` recomputes exactly the quarantined units;
+* **graceful shutdown** — once :func:`repro.runtime.supervision.shutdown_requested`
+  is set (first SIGTERM/SIGINT), nothing new is dispatched; in-flight units
+  drain and are checkpointed via ``on_result``, then
+  :class:`~repro.runtime.errors.ShutdownRequested` carries the undispatched
+  unit names out to the CLI, which exits with the resumable exit code.
+
+Telemetry counters: ``runner.worker_crashes`` (pool-breakage events),
+``runner.pool_respawns``, ``runner.quarantined``, and (from the shutdown
+coordinator) ``runner.signal_shutdowns``.
 
 Workers receive ``(fn, args, kwargs)`` by pickle; unit functions and their
 arguments must therefore be module-level picklable objects.
@@ -33,14 +70,18 @@ arguments must therefore be module-level picklable objects.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from . import faults
-from .errors import StageFailure, StageTimeout
+from .errors import PoolRespawnLimitError, ShutdownRequested, StageFailure, StageTimeout, WorkerCrashError
 from .runner import (
     FailureRecord,
     FaultTolerantRunner,
@@ -49,10 +90,11 @@ from .runner import (
     UnitSpec,
     _describe,
 )
+from .supervision import shutdown_requested, shutdown_signum
 from .telemetry import get_tracer
 
 #: How long the dispatch loop blocks waiting for worker completions before
-#: re-checking backoff expiries (seconds).
+#: re-checking backoff expiries, heartbeats and the shutdown flag (seconds).
 _POLL_S = 0.05
 
 
@@ -60,10 +102,55 @@ class _WorkerTimeout(Exception):
     """Picklable marker: a worker-side attempt exhausted its wall-clock budget."""
 
 
+#: Worker-side start-announcement channel, installed by ``_worker_init``.
+_ANNOUNCE: Any = None
+
+
+def _worker_init(announce: Any) -> None:
+    """Pool initializer: announcement queue + clean signal dispositions.
+
+    Forked workers inherit the parent's graceful-shutdown handlers
+    (:mod:`repro.runtime.supervision`); left in place they would swallow the
+    SIGTERM that ``ProcessPoolExecutor`` sends when tearing down a broken
+    pool, leaving an unkillable worker the executor joins forever.  SIGTERM
+    is restored to its default so ``Process.terminate()`` works; SIGINT is
+    ignored so a terminal Ctrl-C (delivered to the whole foreground process
+    group) is coordinated by the parent alone.
+    """
+    global _ANNOUNCE
+    _ANNOUNCE = announce
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _announce_start(task_id: int) -> None:
+    """Tell the parent this task began executing (crash attribution).
+
+    Uses ``multiprocessing.SimpleQueue`` because its ``put`` writes the pipe
+    synchronously — no feeder thread that a SIGKILL could take down with the
+    message still buffered.
+    """
+    if _ANNOUNCE is None or task_id < 0:
+        return
+    try:
+        _ANNOUNCE.put((task_id, os.getpid()))
+    except (OSError, ValueError):
+        pass  # parent gone or queue closed: attribution degrades gracefully
+
+
 def _worker_attempt(
-    fn: Callable[..., Any], args: tuple, kwargs: dict, timeout_s: float | None
+    fn: Callable[..., Any],
+    args: tuple,
+    kwargs: dict,
+    timeout_s: float | None,
+    directive: tuple[str, float] | None = None,
+    task_id: int = -1,
 ) -> Any:
     """Run one unit attempt inside a worker process, enforcing the budget.
+
+    ``directive`` is a parent-consumed kill/hang fault: it executes *before*
+    the timeout thread starts, so an injected hang is uncooperative — only
+    the parent's heartbeat can catch it, exactly like a stuck native call.
 
     Mirrors the serial runner's thread trick: the unit body runs on a daemon
     thread and the budget is a ``join`` timeout.  A unit that finishes inside
@@ -71,6 +158,8 @@ def _worker_attempt(
     result/exception, exactly like the serial path; a unit raising its own
     ``TimeoutError`` stays an ordinary unit failure.
     """
+    _announce_start(task_id)
+    faults.execute_directive(directive)
     if timeout_s is None:
         return fn(*args, **kwargs)
     result: list[Any] = []
@@ -107,10 +196,13 @@ class _UnitState:
     eligible_at: float = 0.0
     timed_out: bool = field(default=False, compare=False)
     last_exc: BaseException | None = None
+    crashes: int = 0  # worker deaths this unit has been charged with
+    hung: bool = False  # latest attempt exceeded the heartbeat deadline
+    task_id: int = -1  # unique id of the latest submitted attempt
 
 
 class ParallelRunner(FaultTolerantRunner):
-    """A fault-tolerant runner that fans units out to worker processes."""
+    """A fault-tolerant runner that fans units out to supervised workers."""
 
     def __init__(
         self,
@@ -119,11 +211,34 @@ class ParallelRunner(FaultTolerantRunner):
         fail_fast: bool = False,
         verbose: bool = False,
         sleep: Callable[[float], None] = time.sleep,
+        *,
+        max_pool_respawns: int = 3,
+        quarantine_threshold: int = 2,
+        heartbeat_s: float | None = None,
+        respawn_backoff_s: float = 0.5,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if max_pool_respawns < 0:
+            raise ValueError(f"max_pool_respawns must be >= 0, got {max_pool_respawns}")
+        if quarantine_threshold < 1:
+            raise ValueError(
+                f"quarantine_threshold must be >= 1, got {quarantine_threshold}"
+            )
+        if heartbeat_s is not None and heartbeat_s <= 0:
+            raise ValueError(f"heartbeat_s must be > 0, got {heartbeat_s}")
         super().__init__(policy, fail_fast=fail_fast, verbose=verbose, sleep=sleep)
         self.jobs = jobs
+        self.max_pool_respawns = max_pool_respawns
+        self.quarantine_threshold = quarantine_threshold
+        self.heartbeat_s = heartbeat_s
+        self.respawn_backoff_s = respawn_backoff_s
+
+    def respawn_backoff(self, respawn: int) -> float:
+        """Seconds to pause before pool respawn number ``respawn`` (1-based)."""
+        if self.respawn_backoff_s <= 0:
+            return 0.0
+        return min(30.0, self.respawn_backoff_s * 2 ** (respawn - 1))
 
     def run_units(
         self,
@@ -143,75 +258,278 @@ class ParallelRunner(FaultTolerantRunner):
         ]
         queue: list[_UnitState] = list(states)  # waiting for (re-)submission
         running: dict[Future, _UnitState] = {}
+        abandoned: list[_UnitState] = []  # undispatched due to shutdown
+        respawns = 0
+        next_task_id = 0
+        announce = multiprocessing.SimpleQueue()
+        started: set[int] = set()  # task ids a worker announced before a break
 
         def finish(st: _UnitState, outcome: UnitOutcome) -> None:
             outcomes[st.index] = outcome
             if on_result is not None:
                 on_result(st.unit, outcome)
 
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            try:
-                while queue or running:
-                    now = time.monotonic()
-                    backlog: list[_UnitState] = []
-                    for st in queue:
-                        if st.eligible_at > now:
+        def make_pool() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(announce,),
+            )
+
+        pool = make_pool()
+        try:
+            while queue or running:
+                if shutdown_requested() and queue:
+                    # first signal: stop dispatching, drain what is in flight
+                    abandoned.extend(queue)
+                    queue = []
+                now = time.monotonic()
+                backlog: list[_UnitState] = []
+                broken = False
+                for st in queue:
+                    # At most ``jobs`` attempts in flight: a submitted attempt
+                    # starts (almost) immediately, so the heartbeat clock
+                    # measures *running* time, not executor-queue waiting —
+                    # and a shutdown signal finds re-dispatchable units here
+                    # in the parent queue instead of buried inside the pool.
+                    if broken or st.eligible_at > now or len(running) >= self.jobs:
+                        backlog.append(st)
+                        continue
+                    if st.t_start is None:
+                        st.t_start = now
+                    st.attempt += 1
+                    st.t_attempt = now
+                    st.hung = False
+                    try:
+                        # the fault plan lives in the parent: fire here,
+                        # not in the worker, so injection is deterministic
+                        faults.fire(f"{stage}/{st.unit}")
+                    except Exception as exc:
+                        retry = self._attempt_failed(stage, st, False, exc)
+                        if retry is not None:
                             backlog.append(st)
-                            continue
-                        if st.t_start is None:
-                            st.t_start = now
-                        st.attempt += 1
-                        st.t_attempt = now
-                        try:
-                            # the fault plan lives in the parent: fire here,
-                            # not in the worker, so injection is deterministic
-                            faults.fire(f"{stage}/{st.unit}")
-                        except Exception as exc:
-                            retry = self._attempt_failed(stage, st, False, exc)
-                            if retry is not None:
-                                backlog.append(st)
-                            else:
-                                finish(st, UnitOutcome(failure=self.failures.records[-1]))
-                            continue
+                        else:
+                            finish(st, UnitOutcome(failure=self.failures.records[-1]))
+                        continue
+                    directive = faults.worker_directive(f"{stage}/{st.unit}")
+                    st.task_id = next_task_id
+                    next_task_id += 1
+                    try:
                         fut = pool.submit(
                             _worker_attempt, st.fn, st.args, st.kwargs,
-                            self.policy.timeout_s,
+                            self.policy.timeout_s, directive, st.task_id,
                         )
-                        running[fut] = st
-                    queue = backlog
-
-                    if not running:
-                        if queue:  # everything is backing off: sleep it out
-                            pause = min(st.eligible_at for st in queue) - time.monotonic()
-                            if pause > 0:
-                                self._sleep(pause)
+                    except (BrokenProcessPool, RuntimeError):
+                        # the pool died under us before this attempt started:
+                        # the attempt never ran, so hand it back unconsumed
+                        st.attempt -= 1
+                        backlog.append(st)
+                        broken = True
                         continue
+                    running[fut] = st
+                queue = backlog
 
-                    done, _ = wait(running, timeout=_POLL_S, return_when=FIRST_COMPLETED)
-                    for fut in done:
-                        st = running.pop(fut)
-                        try:
-                            value = fut.result()
-                        except (KeyboardInterrupt, SystemExit):
-                            raise
-                        except _WorkerTimeout:
-                            if self._attempt_failed(stage, st, True, None) is not None:
-                                queue.append(st)
-                            else:
-                                finish(st, UnitOutcome(failure=self.failures.records[-1]))
-                        except Exception as exc:
-                            if self._attempt_failed(stage, st, False, exc) is not None:
-                                queue.append(st)
-                            else:
-                                finish(st, UnitOutcome(failure=self.failures.records[-1]))
-                        else:
-                            finish(st, UnitOutcome(value=value))
-            except BaseException:
-                for fut in running:
-                    fut.cancel()
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+                if broken:
+                    _drain_announcements(announce, started)
+                    pool, respawns = self._recover_pool(
+                        stage, pool, running, queue, finish, respawns,
+                        started, make_pool,
+                    )
+                    continue
+
+                if not running:
+                    if queue:  # everything is backing off: sleep it out
+                        pause = min(st.eligible_at for st in queue) - time.monotonic()
+                        if pause > 0:
+                            self._sleep(pause)
+                    continue
+
+                done, _ = wait(running, timeout=_POLL_S, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    st = running.pop(fut)
+                    if self._consume_future(stage, fut, st, queue, finish):
+                        # this unit was in flight when its worker died;
+                        # recovery below decides re-dispatch vs quarantine
+                        running[fut] = st
+                        broken = True
+
+                if not broken and self.heartbeat_s is not None:
+                    deadline_missed = [
+                        st for fut, st in running.items()
+                        if not fut.done() and now - st.t_attempt > self.heartbeat_s
+                    ]
+                    if deadline_missed:
+                        for st in deadline_missed:
+                            st.hung = True
+                        _kill_pool_workers(pool)
+                        broken = True
+
+                if broken:
+                    _drain_announcements(announce, started)
+                    pool, respawns = self._recover_pool(
+                        stage, pool, running, queue, finish, respawns,
+                        started, make_pool,
+                    )
+        except BaseException:
+            for fut in running:
+                fut.cancel()
+            pool.shutdown(wait=False, cancel_futures=True)
+            announce.close()
+            raise
+        pool.shutdown(wait=True)
+        announce.close()
+        if abandoned:
+            raise ShutdownRequested(
+                stage, shutdown_signum(), [st.unit for st in abandoned]
+            )
         return [outcomes[i] for i in range(len(units))]
+
+    # -- supervision --------------------------------------------------------------
+
+    def _consume_future(
+        self,
+        stage: str,
+        fut: Future,
+        st: _UnitState,
+        queue: list[_UnitState],
+        finish: Callable[[_UnitState, UnitOutcome], None],
+    ) -> bool:
+        """Settle one completed future: finish, retry-queue, or report broken.
+
+        Returns ``True`` when the future carries ``BrokenProcessPool`` — the
+        unit is still unresolved and pool recovery must decide its fate.
+        """
+        try:
+            value = fut.result()
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BrokenProcessPool:
+            return True
+        except _WorkerTimeout:
+            if self._attempt_failed(stage, st, True, None) is not None:
+                queue.append(st)
+            else:
+                finish(st, UnitOutcome(failure=self.failures.records[-1]))
+        except Exception as exc:
+            if self._attempt_failed(stage, st, False, exc) is not None:
+                queue.append(st)
+            else:
+                finish(st, UnitOutcome(failure=self.failures.records[-1]))
+        else:
+            finish(st, UnitOutcome(value=value))
+        return False
+
+    def _recover_pool(
+        self,
+        stage: str,
+        pool: ProcessPoolExecutor,
+        running: dict[Future, _UnitState],
+        queue: list[_UnitState],
+        finish: Callable[[_UnitState, UnitOutcome], None],
+        respawns: int,
+        started: set[int],
+        make_pool: Callable[[], ProcessPoolExecutor],
+    ) -> tuple[ProcessPoolExecutor, int]:
+        """Handle a broken pool: charge crashes, quarantine or re-queue, respawn.
+
+        Crash charges go to the units that can actually be guilty: on a
+        heartbeat kill, exactly the units marked hung; on an organic
+        breakage, the in-flight units whose task a worker announced as
+        started (``started``) but that never completed.  Units still queued
+        inside the dead executor re-queue for free.  If no in-flight unit
+        had started (a worker died while idle or mid-spawn), nobody is
+        charged — the respawn limit still bounds that failure mode.
+        """
+        tracer = get_tracer()
+        tracer.counter("runner.worker_crashes")
+        # Harvest futures that settled before the breakage reached them — a
+        # completed unit must keep its result, not be re-run or charged.
+        in_flight: list[_UnitState] = []
+        for fut, st in list(running.items()):
+            if fut.done():
+                if self._consume_future(stage, fut, st, queue, finish):
+                    in_flight.append(st)
+            else:
+                fut.cancel()
+                in_flight.append(st)
+        running.clear()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+        hung = [st for st in in_flight if st.hung]
+        if hung:
+            culprits = hung
+            detail = "heartbeat expired"
+        else:
+            culprits = [st for st in in_flight if st.task_id in started]
+            detail = "worker process died"
+        for st in in_flight:
+            if st not in culprits:
+                # not chargeable (never started, or another unit hung): the
+                # attempt never ran to a verdict, so hand it back unconsumed
+                st.attempt -= 1
+                st.eligible_at = 0.0
+                queue.append(st)
+                continue
+            st.crashes += 1
+            if self.verbose:
+                print(
+                    f"  worker crash running {stage}/{st.unit} "
+                    f"({detail}; crash #{st.crashes})",
+                    flush=True,
+                )
+            if st.crashes >= self.quarantine_threshold:
+                self._quarantine(stage, st, detail, finish)
+            else:
+                st.attempt -= 1  # infrastructure failure: no retry consumed
+                st.eligible_at = 0.0
+                queue.append(st)
+
+        respawns += 1
+        if respawns > self.max_pool_respawns:
+            raise PoolRespawnLimitError(stage, respawns, self.max_pool_respawns)
+        tracer.counter("runner.pool_respawns")
+        pause = self.respawn_backoff(respawns)
+        if self.verbose:
+            print(
+                f"  respawning worker pool (break {respawns}/"
+                f"{self.max_pool_respawns}, backoff {pause:g}s)",
+                flush=True,
+            )
+        if pause > 0:
+            self._sleep(pause)
+        return make_pool(), respawns
+
+    def _quarantine(
+        self,
+        stage: str,
+        st: _UnitState,
+        detail: str,
+        finish: Callable[[_UnitState, UnitOutcome], None],
+    ) -> None:
+        """Permanently fail a unit that keeps taking workers down."""
+        tracer = get_tracer()
+        tracer.counter("runner.quarantined")
+        now = time.monotonic()
+        rec = FailureRecord(
+            stage=stage,
+            unit=st.unit,
+            attempts=st.attempt,
+            error_type=WorkerCrashError.__name__,
+            message=(
+                f"{detail}; {st.crashes} crash(es) charged to this unit — "
+                "quarantined as a poison task"
+            ),
+            elapsed_s=now - (st.t_start or now),
+            last_attempt_s=now - st.t_attempt if st.t_attempt else 0.0,
+            run_id=tracer.run_id,
+            kind="worker_crash",
+        )
+        self.failures.record(rec)
+        if self.verbose:
+            print(f"  QUARANTINED {stage}/{st.unit}: {rec.message}", flush=True)
+        if self.fail_fast:
+            raise WorkerCrashError(stage, st.unit, st.crashes, detail)
+        finish(st, UnitOutcome(failure=rec))
 
     def _attempt_failed(
         self,
@@ -252,6 +570,7 @@ class ParallelRunner(FaultTolerantRunner):
             # submit-to-completion of the final attempt (queue wait included)
             last_attempt_s=time.monotonic() - st.t_attempt if st.t_attempt else 0.0,
             run_id=tracer.run_id,
+            kind="timeout" if timed_out else "error",
         )
         tracer.counter("runner.failed_units")
         self.failures.record(rec)
@@ -262,3 +581,29 @@ class ParallelRunner(FaultTolerantRunner):
                 raise StageTimeout(stage, st.unit, st.attempt, self.policy.timeout_s or 0.0)
             raise StageFailure(stage, st.unit, st.attempt, rec.message) from exc
         return None
+
+
+def _drain_announcements(announce: Any, started: set[int]) -> None:
+    """Pull all pending start announcements into ``started`` (parent side)."""
+    try:
+        while not announce.empty():
+            task_id, _pid = announce.get()
+            started.add(task_id)
+    except (OSError, EOFError, ValueError):
+        pass  # torn pipe after a crash: attribution degrades gracefully
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """SIGKILL every live worker of a pool whose tasks stopped heartbeating.
+
+    Reaches into ``ProcessPoolExecutor._processes`` (a pid → Process map);
+    there is no public API for this, but a hung worker ignores cooperative
+    shutdown by definition.  Killing the workers breaks the pool, which the
+    dispatch loop then recovers exactly like an organic worker death.
+    """
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.kill()
+        except (OSError, AttributeError, ValueError):
+            pass  # already dead, or platform without kill(): best effort

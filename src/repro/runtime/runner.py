@@ -30,7 +30,7 @@ from typing import Any, Callable
 
 from . import faults
 from .checkpoint import atomic_write_text
-from .errors import StageFailure, StageTimeout
+from .errors import ShutdownRequested, StageFailure, StageTimeout
 from .telemetry import get_tracer
 
 #: One schedulable unit of work: ``(unit_name, fn, args, kwargs)``.
@@ -75,7 +75,10 @@ class FailureRecord:
     ``elapsed_s`` spans all attempts (backoff included); ``last_attempt_s``
     is the wall clock of the final attempt alone.  ``run_id`` ties the
     record to the telemetry run that produced it, so a failure log can be
-    joined against the run's trace/manifest.
+    joined against the run's trace/manifest.  ``kind`` classifies the
+    failure mode — ``"error"`` (the unit raised), ``"timeout"`` (wall-clock
+    budget), or ``"worker_crash"`` (the unit repeatedly took worker
+    processes down and was quarantined by the supervision layer).
     """
 
     stage: str
@@ -86,6 +89,7 @@ class FailureRecord:
     elapsed_s: float
     last_attempt_s: float = 0.0
     run_id: str = ""
+    kind: str = "error"
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -97,6 +101,7 @@ class FailureRecord:
             "elapsed_s": round(self.elapsed_s, 3),
             "last_attempt_s": round(self.last_attempt_s, 3),
             "run_id": self.run_id,
+            "kind": self.kind,
         }
 
 
@@ -220,6 +225,7 @@ class FaultTolerantRunner:
             elapsed_s=time.monotonic() - t_start,
             last_attempt_s=time.monotonic() - t_attempt,
             run_id=tracer.run_id,
+            kind="timeout" if timed_out else "error",
         )
         tracer.counter("runner.failed_units")
         self.failures.record(rec)
@@ -247,10 +253,21 @@ class FaultTolerantRunner:
 
         The serial implementation runs units in order; ``fail_fast`` raises
         out of the loop exactly like repeated :meth:`run_unit` calls would.
+        A graceful-shutdown request (see :mod:`repro.runtime.supervision`)
+        is honoured *between* units: the current unit finishes and is
+        checkpointed via ``on_result``, then the loop raises
+        :class:`~repro.runtime.errors.ShutdownRequested` naming the units
+        that were never started, so ``--resume`` picks up exactly there.
         """
+        from .supervision import shutdown_requested, shutdown_signum
+
         self._register_counters()
         outcomes: list[UnitOutcome] = []
-        for unit, fn, args, kwargs in units:
+        for i, (unit, fn, args, kwargs) in enumerate(units):
+            if shutdown_requested():
+                raise ShutdownRequested(
+                    stage, shutdown_signum(), [u for u, *_ in units[i:]]
+                )
             outcome = self.run_unit(stage, unit, fn, *args, **kwargs)
             if on_result is not None:
                 on_result(unit, outcome)
@@ -259,9 +276,22 @@ class FaultTolerantRunner:
 
     @staticmethod
     def _register_counters() -> None:
-        """Zero-register the runner's metric keys so every run reports them."""
+        """Zero-register the runner's metric keys so every run reports them.
+
+        The supervision counters are registered here too — a serial run can
+        never crash a worker, but its manifest must stay semantically
+        identical to a ``--jobs N`` run's (``stable_view`` equality).
+        """
         tracer = get_tracer()
-        for key in ("runner.retries", "runner.timeouts", "runner.failed_units"):
+        for key in (
+            "runner.retries",
+            "runner.timeouts",
+            "runner.failed_units",
+            "runner.worker_crashes",
+            "runner.pool_respawns",
+            "runner.quarantined",
+            "runner.signal_shutdowns",
+        ):
             tracer.counter(key, 0)
 
     def _attempt(

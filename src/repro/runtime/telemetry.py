@@ -264,23 +264,38 @@ def write_trace(
 
 @dataclass
 class TraceDoc:
-    """A trace file loaded back into memory."""
+    """A trace file loaded back into memory.
+
+    ``dropped`` counts lines skipped by a lenient (``strict=False``) load —
+    the truncated or corrupt residue a killed writer leaves behind.
+    """
 
     meta: dict[str, Any]
     roots: list[SpanNode]
     counters: dict[str, float]
     gauges: dict[str, float]
     failures: list[dict[str, Any]]
+    dropped: int = 0
 
 
-def load_trace(path: str | Path) -> TraceDoc:
-    """Parse a JSONL trace, rebuilding the span tree from id/parent links."""
+def load_trace(path: str | Path, strict: bool = True) -> TraceDoc:
+    """Parse a JSONL trace, rebuilding the span tree from id/parent links.
+
+    ``strict=True`` (the default, for tests and tooling that must notice
+    corruption) raises on any malformed line.  ``strict=False`` — what the
+    ``drcshap trace`` inspector uses — skips truncated or corrupt lines (a
+    process killed mid-write tears at most the final line) and reports how
+    many were dropped via :attr:`TraceDoc.dropped`.  A wrong schema version
+    or a missing meta event stays an error either way: that is a different
+    file, not a torn one.
+    """
     meta: dict[str, Any] = {}
     roots: list[SpanNode] = []
     by_id: dict[int, SpanNode] = {}
     counters: dict[str, float] = {}
     gauges: dict[str, float] = {}
     failures: list[dict[str, Any]] = []
+    dropped = 0
     for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
         if not line.strip():
             continue
@@ -288,37 +303,49 @@ def load_trace(path: str | Path) -> TraceDoc:
             ev = json.loads(line)
             kind = ev["ev"]
         except (json.JSONDecodeError, TypeError, KeyError) as exc:
-            raise ValueError(f"{path}:{lineno}: not a trace event line") from exc
-        if kind == "meta":
-            if ev.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
-                raise ValueError(
-                    f"{path}: unsupported trace schema "
-                    f"{ev.get('schema_version')!r} (expected {TELEMETRY_SCHEMA_VERSION})"
+            if strict:
+                raise ValueError(f"{path}:{lineno}: not a trace event line") from exc
+            dropped += 1
+            continue
+        try:
+            if kind == "meta":
+                if ev.get("schema_version") != TELEMETRY_SCHEMA_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported trace schema "
+                        f"{ev.get('schema_version')!r} (expected {TELEMETRY_SCHEMA_VERSION})"
+                    )
+                meta = ev
+            elif kind == "span":
+                node = SpanNode(
+                    name=str(ev["name"]),
+                    attrs=dict(ev.get("attrs") or {}),
+                    wall_s=float(ev.get("wall_s", 0.0)),
+                    cpu_s=float(ev.get("cpu_s", 0.0)),
+                    pid=int(ev.get("pid", 0)),
                 )
-            meta = ev
-        elif kind == "span":
-            node = SpanNode(
-                name=str(ev["name"]),
-                attrs=dict(ev.get("attrs") or {}),
-                wall_s=float(ev.get("wall_s", 0.0)),
-                cpu_s=float(ev.get("cpu_s", 0.0)),
-                pid=int(ev.get("pid", 0)),
-            )
-            by_id[int(ev["id"])] = node
-            parent = by_id.get(int(ev.get("parent", 0)))
-            (parent.children if parent is not None else roots).append(node)
-        elif kind == "counter":
-            counters[str(ev["name"])] = ev["value"]
-        elif kind == "gauge":
-            gauges[str(ev["name"])] = ev["value"]
-        elif kind == "failure":
-            failures.append({k: v for k, v in ev.items() if k != "ev"})
-        else:
-            raise ValueError(f"{path}:{lineno}: unknown event kind {kind!r}")
+                by_id[int(ev["id"])] = node
+                parent = by_id.get(int(ev.get("parent", 0)))
+                (parent.children if parent is not None else roots).append(node)
+            elif kind == "counter":
+                counters[str(ev["name"])] = ev["value"]
+            elif kind == "gauge":
+                gauges[str(ev["name"])] = ev["value"]
+            elif kind == "failure":
+                failures.append({k: v for k, v in ev.items() if k != "ev"})
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown event kind {kind!r}")
+        except ValueError as exc:
+            if strict or "unsupported trace schema" in str(exc):
+                raise
+            dropped += 1
+        except (KeyError, TypeError) as exc:
+            if strict:
+                raise ValueError(f"{path}:{lineno}: malformed trace event") from exc
+            dropped += 1
     if not meta:
         raise ValueError(f"{path}: missing meta event (not a trace file?)")
     return TraceDoc(meta=meta, roots=roots, counters=counters,
-                    gauges=gauges, failures=failures)
+                    gauges=gauges, failures=failures, dropped=dropped)
 
 
 # -- run manifest -------------------------------------------------------------------

@@ -1,0 +1,548 @@
+"""Crash-safe supervised execution: pool supervision, quarantine, shutdown.
+
+Covers the supervision layer in isolation (crash recovery, poison-task
+quarantine, heartbeat hang detection, respawn limits), the graceful
+SIGTERM/SIGINT path (serial and parallel runners, the resumable CLI exit
+code), and the durability satellites (orphan temp sweep, lenient trace
+loading, failure-record kinds).
+
+The acceptance bar, per the crash-safety design: SIGKILLing a worker
+mid-suite never aborts the run — the affected design is retried on a
+respawned pool or quarantined as a ``worker_crash`` failure, and a
+subsequent ``--resume`` completes with output byte-identical to an
+uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.pipeline import build_suite_dataset
+from repro.runtime import (
+    CheckpointStore,
+    FaultTolerantRunner,
+    ParallelRunner,
+    RetryPolicy,
+    load_trace,
+    sweep_orphan_temps,
+)
+from repro.runtime import faults as faults_mod
+from repro.runtime.errors import (
+    PoolRespawnLimitError,
+    ShutdownRequested,
+    WorkerCrashError,
+)
+from repro.runtime.faults import FaultSpec, execute_directive, inject_faults
+from repro.runtime.runner import FailureRecord
+from repro.runtime.supervision import (
+    graceful_shutdown,
+    shutdown_requested,
+    shutdown_signum,
+)
+from repro.runtime.telemetry import Tracer, activate, write_trace
+
+SCALE = 0.3
+
+#: Quick retries, no real backoff waiting: supervision tests exercise crash
+#: paths, not the retry scheduler.
+FAST_RETRIES = dict(policy=RetryPolicy(max_retries=3, backoff_base_s=0.01))
+
+
+# Unit bodies must be module-level: they are pickled to worker processes.
+
+def _double(x):
+    return 2 * x
+
+
+def _sleep_then(seconds, value):
+    time.sleep(seconds)
+    return value
+
+
+def _units(n=4):
+    return [(f"u{i}", _double, (i,), {}) for i in range(n)]
+
+
+def _expected(n=4):
+    return [2 * i for i in range(n)]
+
+
+def _supervised(**kw):
+    defaults = dict(
+        jobs=2,
+        max_pool_respawns=10,
+        respawn_backoff_s=0.02,
+        **FAST_RETRIES,
+    )
+    defaults.update(kw)
+    return ParallelRunner(**defaults)
+
+
+class TestSupervisionConfig:
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(2, max_pool_respawns=-1)
+        with pytest.raises(ValueError):
+            ParallelRunner(2, quarantine_threshold=0)
+        with pytest.raises(ValueError):
+            ParallelRunner(2, heartbeat_s=0.0)
+
+    def test_respawn_backoff_doubles_and_caps(self):
+        runner = ParallelRunner(2, respawn_backoff_s=0.5)
+        assert [runner.respawn_backoff(n) for n in (1, 2, 3)] == [0.5, 1.0, 2.0]
+        assert runner.respawn_backoff(20) == 30.0
+        assert ParallelRunner(2, respawn_backoff_s=0.0).respawn_backoff(5) == 0.0
+
+
+class TestWorkerCrashRecovery:
+    def test_single_kill_recovered_without_failure(self):
+        runner = _supervised()
+        with activate(Tracer(run_id="crash")) as tracer:
+            with inject_faults(FaultSpec(stage="stage/u1", kind="kill", times=1)) as plan:
+                out = runner.run_units("stage", _units())
+        assert [o.value for o in out] == _expected()
+        assert not runner.failures
+        assert plan.triggered == [("stage/u1", "kill")]
+        assert tracer.counters["runner.worker_crashes"] >= 1
+        assert tracer.counters["runner.pool_respawns"] >= 1
+        assert tracer.counters["runner.quarantined"] == 0
+
+    def test_crash_redispatch_does_not_consume_retry_budget(self):
+        # zero retries allowed, yet a crashed attempt re-dispatches free:
+        # a dead worker is an infrastructure failure, not a unit failure
+        runner = _supervised(policy=RetryPolicy(max_retries=0))
+        with inject_faults(FaultSpec(stage="stage/u1", kind="kill", times=1)):
+            out = runner.run_units("stage", _units())
+        assert [o.value for o in out] == _expected()
+        assert not runner.failures
+
+    def test_poison_unit_quarantined_innocents_survive(self):
+        # delay_s gives co-resident units a window to finish, so crash
+        # charges land on the poison unit alone (start-announce attribution)
+        runner = _supervised(quarantine_threshold=2)
+        with activate(Tracer(run_id="poison")) as tracer:
+            with inject_faults(
+                FaultSpec(stage="stage/u0", kind="kill", times=4, delay_s=0.3)
+            ):
+                out = runner.run_units("stage", _units())
+        assert not out[0].ok
+        assert [o.value for o in out[1:]] == _expected()[1:]
+        rec = runner.failures.records[0]
+        assert rec.unit == "u0"
+        assert rec.kind == "worker_crash"
+        assert rec.error_type == "WorkerCrashError"
+        assert "quarantined" in rec.message
+        assert tracer.counters["runner.quarantined"] == 1
+
+    def test_fail_fast_raises_worker_crash_error(self):
+        runner = _supervised(quarantine_threshold=1, fail_fast=True)
+        with inject_faults(
+            FaultSpec(stage="stage/u0", kind="kill", times=4, delay_s=0.3)
+        ):
+            with pytest.raises(WorkerCrashError):
+                runner.run_units("stage", _units())
+
+    def test_respawn_limit_aborts_stage(self):
+        runner = _supervised(max_pool_respawns=0, quarantine_threshold=99)
+        with inject_faults(FaultSpec(stage="stage/u0", kind="kill", times=1)):
+            with pytest.raises(PoolRespawnLimitError):
+                runner.run_units("stage", _units())
+
+
+class TestHeartbeat:
+    def test_hang_detected_and_retried(self):
+        runner = _supervised(heartbeat_s=0.5, quarantine_threshold=2)
+        with inject_faults(
+            FaultSpec(stage="stage/u2", kind="hang", times=1, delay_s=30.0)
+        ) as plan:
+            out = runner.run_units("stage", _units())
+        assert [o.value for o in out] == _expected()
+        assert not runner.failures
+        assert plan.triggered == [("stage/u2", "hang")]
+
+    def test_hung_unit_quarantined_alone(self):
+        # heartbeat kills identify the culprit exactly: only the hung unit
+        # is charged, co-resident units re-dispatch for free
+        runner = _supervised(heartbeat_s=0.5, quarantine_threshold=1)
+        with inject_faults(
+            FaultSpec(stage="stage/u2", kind="hang", times=1, delay_s=30.0)
+        ):
+            out = runner.run_units("stage", _units())
+        assert not out[2].ok
+        assert [o.value for i, o in enumerate(out) if i != 2] == [0, 2, 6]
+        rec = runner.failures.records[0]
+        assert rec.unit == "u2"
+        assert rec.kind == "worker_crash"
+        assert "heartbeat expired" in rec.message
+
+
+class TestWorkerFaultDirectives:
+    def test_kill_and_hang_are_valid_kinds(self):
+        assert FaultSpec(stage="s", kind="kill").kind == "kill"
+        assert FaultSpec(stage="s", kind="hang").kind == "hang"
+        with pytest.raises(ValueError):
+            FaultSpec(stage="s", kind="explode")
+
+    def test_fire_ignores_worker_side_faults(self):
+        # a serial runner SIGKILLing itself would take the test process down
+        with inject_faults(FaultSpec(stage="s/u", kind="kill")) as plan:
+            faults_mod.fire("s/u")  # must not raise, must not consume
+            assert plan.triggered == []
+            assert plan.worker_directive("s/u") == ("kill", 0.05)
+            assert plan.triggered == [("s/u", "kill")]
+            # consumed: the spec is exhausted
+            assert plan.worker_directive("s/u") is None
+
+    def test_directive_hooks_inactive_without_plan(self):
+        assert faults_mod.worker_directive("s/u") is None
+        execute_directive(None)  # no-op
+
+    def test_execute_hang_directive_sleeps(self):
+        t0 = time.monotonic()
+        execute_directive(("hang", 0.05))
+        assert time.monotonic() - t0 >= 0.05
+
+
+class TestGracefulShutdown:
+    def _deliver(self, signum=signal.SIGTERM):
+        os.kill(os.getpid(), signum)
+        deadline = time.monotonic() + 2.0
+        while not shutdown_requested() and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert shutdown_requested()
+
+    def test_serial_runner_stops_between_units(self):
+        runner = FaultTolerantRunner()
+        with graceful_shutdown():
+            self._deliver()
+            assert shutdown_signum() == signal.SIGTERM
+            with pytest.raises(ShutdownRequested) as err:
+                runner.run_units("stage", _units())
+        assert err.value.pending == ["u0", "u1", "u2", "u3"]
+        assert "--resume" in str(err.value)
+        assert not shutdown_requested()  # handler scope ended
+
+    def test_parallel_runner_drains_in_flight_abandons_rest(self):
+        completed: list[str] = []
+        runner = ParallelRunner(jobs=2)
+        units = [(f"s{i}", _sleep_then, (0.4, i), {}) for i in range(4)]
+        with graceful_shutdown():
+            killer = threading.Timer(
+                0.15, os.kill, (os.getpid(), signal.SIGTERM)
+            )
+            killer.start()
+            try:
+                with pytest.raises(ShutdownRequested) as err:
+                    runner.run_units(
+                        "stage", units, on_result=lambda u, o: completed.append(u)
+                    )
+            finally:
+                killer.cancel()
+        # the first wave (jobs=2) drained and was checkpointed via on_result;
+        # everything undispatched was abandoned for --resume to pick up
+        assert sorted(completed) == ["s0", "s1"]
+        assert err.value.pending == ["s2", "s3"]
+        assert err.value.signum == signal.SIGTERM
+
+    def test_nested_activation_is_noop(self):
+        with graceful_shutdown() as outer:
+            with graceful_shutdown() as inner:
+                assert not inner.requested
+            # inner exit must not tear down the outer coordinator
+            self._deliver()
+            assert outer.requested
+        assert not shutdown_requested()
+
+    def test_signal_counter_bumped(self):
+        with activate(Tracer(run_id="sig")) as tracer:
+            with graceful_shutdown():
+                self._deliver()
+        assert tracer.counters["runner.signal_shutdowns"] == 1
+
+    def test_second_signal_hard_exits(self):
+        # a second SIGTERM must kill the process with the conventional
+        # fatal-signal status, not keep draining
+        code = (
+            "import os, signal, sys, time\n"
+            "from repro.runtime.supervision import graceful_shutdown\n"
+            "with graceful_shutdown():\n"
+            "    os.kill(os.getpid(), signal.SIGTERM)\n"
+            "    time.sleep(0.2)\n"
+            "    os.kill(os.getpid(), signal.SIGTERM)\n"
+            "    time.sleep(10)\n"
+            "print('survived')\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            env=_subprocess_env(),
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == -signal.SIGTERM
+        assert "survived" not in proc.stdout
+
+
+def _subprocess_env(**extra: str) -> dict[str, str]:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(extra)
+    return env
+
+
+@pytest.fixture(scope="module")
+def suite_baseline(tmp_path_factory) -> bytes:
+    """Uninterrupted serial suite cache: the byte-identity reference."""
+    path = tmp_path_factory.mktemp("baseline") / "suite.npz"
+    build_suite_dataset(
+        SCALE, cache_path=path, runner=FaultTolerantRunner(fail_fast=True)
+    )
+    return path.read_bytes()
+
+
+class TestCrashSafetyAcceptance:
+    """The ISSUE's acceptance bar, end to end through the suite builder."""
+
+    def test_worker_kill_mid_suite_degrades_then_resume_is_byte_identical(
+        self, tmp_path, suite_baseline
+    ):
+        cache = tmp_path / "suite.npz"
+        # mult_1's flow SIGKILLs its worker on every attempt: the run must
+        # degrade to a structured worker_crash failure, never abort
+        runner = _supervised(quarantine_threshold=2)
+        with inject_faults(
+            FaultSpec(stage="flow/mult_1", kind="kill", times=99, delay_s=0.3)
+        ):
+            suite, _stats = build_suite_dataset(
+                SCALE, cache_path=cache, runner=runner
+            )
+        assert "mult_1" not in suite.names
+        assert runner.failures.units() == ["flow/mult_1"]
+        rec = runner.failures.records[0]
+        assert rec.kind == "worker_crash"
+        assert rec.error_type == "WorkerCrashError"
+        # a degraded suite must not publish the shared cache pair...
+        assert not cache.exists()
+        # ...but every design that did finish was checkpointed by the parent
+        saved = {p.stem for p in cache.with_suffix(".ckpt").glob("*.npz")}
+        assert "mult_1" not in saved
+        assert len(saved) >= 1
+
+        # resume without faults: only the quarantined design is recomputed,
+        # and the result is byte-identical to the uninterrupted run
+        build_suite_dataset(
+            SCALE, cache_path=cache, runner=FaultTolerantRunner(fail_fast=True)
+        )
+        assert cache.read_bytes() == suite_baseline
+
+    def test_cli_kill_fault_terminates_despite_signal_handlers(self, tmp_path):
+        # regression: forked workers inherited the CLI's graceful-shutdown
+        # SIGTERM handler, swallowed the executor's terminate() while a broken
+        # pool was torn down, and the process hung at interpreter exit joining
+        # the unkillable worker — the subprocess timeout below is the assert
+        code = (
+            "import sys\n"
+            "import repro.cli as cli\n"
+            "from repro.runtime import FaultSpec, inject_faults\n"
+            "spec = FaultSpec(stage='flow/mult_1', kind='kill', times=99,"
+            " delay_s=0.3)\n"
+            "with inject_faults(spec):\n"
+            "    sys.exit(cli.main(sys.argv[1:]))\n"
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-u",
+                "-c",
+                code,
+                "suite",
+                "--scale",
+                str(SCALE),
+                "-j",
+                "2",
+                "--max-pool-respawns",
+                "10",
+                "--quarantine-threshold",
+                "2",
+            ],
+            env=_subprocess_env(DRCSHAP_CACHE_DIR=str(tmp_path)),
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 3, proc.stderr  # degraded, not hung/killed
+        assert "QUARANTINED flow/mult_1" in proc.stdout + proc.stderr
+        # the buggy inherited handler announced shutdowns from inside workers
+        assert "shutdown requested" not in proc.stderr
+
+    def test_cli_sigterm_exits_resumable_code_then_resume_completes(
+        self, tmp_path, suite_baseline
+    ):
+        env = _subprocess_env(DRCSHAP_CACHE_DIR=str(tmp_path))
+        trace = tmp_path / "run.jsonl"
+        cmd = [
+            sys.executable,
+            "-u",
+            "-c",
+            "import sys; from repro.cli import main; sys.exit(main(sys.argv[1:]))",
+            "suite",
+            "--scale",
+            str(SCALE),
+            "-j",
+            "2",
+            "--trace",
+            str(trace),
+        ]
+        proc = subprocess.Popen(
+            cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True
+        )
+        try:
+            # wait until at least one design checkpoint exists, so the
+            # interrupted run has something for --resume to reuse
+            deadline = time.monotonic() + 300
+            while time.monotonic() < deadline:
+                if any(tmp_path.glob("*.ckpt/*.npz")) or proc.poll() is not None:
+                    break
+                time.sleep(0.1)
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+            stdout, stderr = proc.communicate(timeout=300)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        if proc.returncode == 0:
+            pytest.skip("suite finished before the signal landed")
+        assert proc.returncode == 4, stderr  # documented resumable exit code
+        assert "shutdown requested" in stderr
+        assert "interrupted:" in stderr
+        # flushed cleanly: no torn atomic-write temp files anywhere...
+        assert not list(tmp_path.rglob(".*.tmp*"))
+        # ...and both telemetry sinks were written on the interrupted exit:
+        # the manifest parses and carries the signal counter, the trace loads
+        manifest = json.loads(
+            trace.with_suffix(".manifest.json").read_text()
+        )
+        assert manifest["counters"]["runner.signal_shutdowns"] == 1
+        assert load_trace(trace, strict=False).meta
+
+        resumed = subprocess.run(
+            cmd, env=env, capture_output=True, text=True, timeout=600
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert "Total samples" in resumed.stdout
+        tag = f"suite_scale{SCALE:g}".replace(".", "p")
+        assert (tmp_path / f"{tag}.npz").read_bytes() == suite_baseline
+
+
+class TestOrphanTempSweep:
+    def _stale(self, root: Path, name: str) -> Path:
+        tmp = root / name
+        tmp.write_bytes(b"orphan")
+        two_hours_ago = time.time() - 7200
+        os.utime(tmp, (two_hours_ago, two_hours_ago))
+        return tmp
+
+    def test_sweeps_stale_keeps_fresh_and_real_files(self, tmp_path):
+        stale = self._stale(tmp_path, ".suite.npz.tmp1234")
+        fresh = tmp_path / ".suite.npz.tmp5678"
+        fresh.write_bytes(b"live writer")
+        real = tmp_path / "suite.npz"
+        real.write_bytes(b"artefact")
+        with activate(Tracer(run_id="sweep")) as tracer:
+            assert sweep_orphan_temps(tmp_path) == 1
+        assert not stale.exists()
+        assert fresh.exists() and real.exists()
+        assert tracer.counters["runtime.cache.orphans_swept"] == 1
+
+    def test_missing_root_sweeps_nothing(self, tmp_path):
+        assert sweep_orphan_temps(tmp_path / "nope") == 0
+
+    def test_checkpoint_store_sweeps_on_open(self, tmp_path):
+        root = tmp_path / "store"
+        root.mkdir()
+        stale = self._stale(root, ".x.npz.tmp999")
+        CheckpointStore(root)
+        assert not stale.exists()
+
+
+class TestLenientTraceLoading:
+    def _torn_trace(self, tmp_path) -> Path:
+        tracer = Tracer(run_id="torn")
+        with tracer.span("root"):
+            tracer.counter("n", 1)
+        path = write_trace(tracer, tmp_path / "t.jsonl", "suite", ["--scale", "1"])
+        with open(path, "a") as fh:
+            fh.write('{"ev": "span", "name": "half\n')  # torn mid-write
+            fh.write("garbage\n")
+            fh.write('{"ev": "span"}\n')  # parseable but incomplete event
+        return path
+
+    def test_strict_raises_lenient_counts_dropped(self, tmp_path):
+        path = self._torn_trace(tmp_path)
+        with pytest.raises(ValueError):
+            load_trace(path)
+        doc = load_trace(path, strict=False)
+        assert doc.dropped == 3
+        assert doc.counters["n"] == 1
+        assert [s.name for s in doc.roots] == ["root"]
+
+    def test_lenient_still_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ev": "meta", "schema_version": 999}\n')
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            load_trace(path, strict=False)
+
+    def test_lenient_still_requires_meta(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("garbage\n")
+        with pytest.raises(ValueError):
+            load_trace(path, strict=False)
+
+    def test_cli_inspector_warns_and_succeeds(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._torn_trace(tmp_path)
+        assert main(["trace", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "skipped 3 truncated/corrupt trace line(s)" in captured.err
+        assert "root" in captured.out
+
+
+class TestFailureRecordKinds:
+    def test_serial_error_and_timeout_kinds(self):
+        runner = FaultTolerantRunner(policy=RetryPolicy(timeout_s=0.2))
+        out = runner.run_units(
+            "stage",
+            [
+                ("bad", _raise_boom, (), {}),
+                ("slow", _sleep_then, (2.0, "late"), {}),
+            ],
+        )
+        assert not out[0].ok and not out[1].ok
+        by_unit = {r.unit: r for r in runner.failures.records}
+        assert by_unit["bad"].kind == "error"
+        assert by_unit["slow"].kind == "timeout"
+
+    def test_kind_serializes(self):
+        rec = FailureRecord(
+            stage="s", unit="u", attempts=1, error_type="E", message="m",
+            elapsed_s=0.1, kind="worker_crash",
+        )
+        doc = rec.to_dict()
+        assert doc["kind"] == "worker_crash"
+        assert json.loads(json.dumps(doc))["kind"] == "worker_crash"
+
+
+def _raise_boom():
+    raise RuntimeError("boom")
